@@ -1,0 +1,59 @@
+// Command nordpower prints the power-model reproductions of Figure 1 and
+// the Section 6.8 area comparison.
+//
+//	nordpower            # Figure 1(a) and 1(b)
+//	nordpower -area      # Section 6.8 router area table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nord/internal/sim"
+)
+
+func main() {
+	area := flag.Bool("area", false, "print the Section 6.8 area comparison")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *area {
+		rows, err := sim.AreaTable()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("Section 6.8: router area at 45nm")
+		fmt.Printf("%-14s %12s %10s %10s\n", "design", "area (mm^2)", "vs No_PG", "vs OPT")
+		for _, r := range rows {
+			fmt.Printf("%-14s %12.4f %+9.1f%% %+9.1f%%\n", r.Design, r.AreaMM2, 100*r.VsNoPG, 100*r.VsOpt)
+		}
+		fmt.Println("(paper: NoRD +3.1% vs Conv_PG_OPT)")
+		return
+	}
+
+	pts, err := sim.Fig1aStaticShare()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Figure 1(a): router static power share at PARSEC-average load")
+	fmt.Printf("%8s %8s %14s\n", "node", "voltage", "static share")
+	for _, p := range pts {
+		fmt.Printf("%6dnm %7.1fV %13.1f%%\n", p.NodeNM, p.Voltage, 100*p.StaticShare)
+	}
+	fmt.Println("(paper anchors: 17.9% @65nm/1.2V, 35.4% @45nm/1.1V, 47.7% @32nm/1.0V)")
+
+	keys, vals, err := sim.Fig1bBreakdown()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("\nFigure 1(b): router power decomposition at 45nm/1.0V")
+	for i, k := range keys {
+		fmt.Printf("%-16s %6.1f%%\n", k, 100*vals[i])
+	}
+	fmt.Println("(paper: dynamic 62%, buffer 21%, VA 7%, xbar 5%, clock 4%, SA 2%)")
+}

@@ -1,0 +1,152 @@
+// Command nordsim runs a single NoC simulation — synthetic traffic or a
+// PARSEC-like full-system workload — under one of the four power-gating
+// designs and prints the measurements and energy accounting.
+//
+// Examples:
+//
+//	nordsim -design nord -rate 0.05                 # uniform random, 4x4
+//	nordsim -design conv_pg_opt -benchmark x264     # full-system run
+//	nordsim -print-config                           # Table 1 parameters
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+
+	"nord/internal/noc"
+	"nord/internal/sim"
+)
+
+func designByName(s string) (noc.Design, error) {
+	switch s {
+	case "no_pg", "nopg", "baseline":
+		return noc.NoPG, nil
+	case "conv_pg", "conv":
+		return noc.ConvPG, nil
+	case "conv_pg_opt", "opt":
+		return noc.ConvPGOpt, nil
+	case "nord":
+		return noc.NoRD, nil
+	}
+	return 0, fmt.Errorf("unknown design %q (no_pg, conv_pg, conv_pg_opt, nord)", s)
+}
+
+func main() {
+	var (
+		design      = flag.String("design", "nord", "no_pg, conv_pg, conv_pg_opt or nord")
+		pattern     = flag.String("pattern", "uniform", "synthetic pattern: uniform, bitcomp, transpose, tornado")
+		rate        = flag.Float64("rate", 0.05, "synthetic injection rate (flits/node/cycle)")
+		benchmark   = flag.String("benchmark", "", "run a PARSEC-like workload instead of synthetic traffic")
+		scale       = flag.Float64("scale", 1.0, "workload instruction-count scale")
+		width       = flag.Int("width", 4, "mesh width")
+		height      = flag.Int("height", 4, "mesh height")
+		warmup      = flag.Int("warmup", 10_000, "warmup cycles")
+		measure     = flag.Int("measure", 100_000, "measured cycles (synthetic)")
+		wakeup      = flag.Int("wakeup", 12, "router wakeup latency in cycles")
+		seed        = flag.Int64("seed", 1, "random seed")
+		forcedOff   = flag.Bool("forced-off", false, "force every router asleep (Figure 7 mode)")
+		twoStage    = flag.Bool("two-stage", false, "2-stage router pipeline (Section 6.8)")
+		aggressive  = flag.Bool("aggressive-bypass", false, "1-cycle NoRD bypass (Section 6.8)")
+		dynClass    = flag.Bool("dynamic-classify", false, "demand-ranked performance-centric class (Section 4.4)")
+		csvOut      = flag.Bool("csv", false, "emit a CSV record instead of the report")
+		perRouter   = flag.Bool("per-router", false, "append the per-router spatial statistics table")
+		powerTrace  = flag.Int("power-trace", 0, "emit a power time series sampled every N cycles (CSV) instead of the report")
+		watch       = flag.Int("watch", 0, "render router power-state frames every N cycles instead of the report")
+		printConfig = flag.Bool("print-config", false, "print the Table 1 default configuration and exit")
+	)
+	flag.Parse()
+
+	if *printConfig {
+		p := noc.DefaultParams(noc.NoRD)
+		fmt.Println("Table 1 configuration (defaults):")
+		fmt.Printf("  network topology   %dx%d mesh (also 8x8 via -width/-height)\n", p.Width, p.Height)
+		fmt.Printf("  router             4-stage (RC,VA,SA,ST) + LT, 3GHz\n")
+		fmt.Printf("  virtual channels   %d per protocol class\n", p.VCsPerClass)
+		fmt.Printf("  input buffers      %d-flit depth\n", p.BufferDepth)
+		fmt.Printf("  link bandwidth     128 bits/cycle (1 flit)\n")
+		fmt.Printf("  wakeup latency     %d cycles (4ns at 3GHz)\n", p.WakeupLatency)
+		fmt.Printf("  early wakeup       %d cycles hidden (Conv_PG_OPT)\n", p.EarlyWakeupCycles)
+		fmt.Printf("  wakeup window      %d cycles, thresholds perf=%d power=%d\n", p.WakeupWindow, p.ThresholdPerf, p.ThresholdPower)
+		fmt.Printf("  misroute cap       %d hops before the escape ring\n", p.MisrouteCap)
+		fmt.Printf("  memory (workload)  L1 32KB/2-way 1cy; L2 256KB/16-way banks 6cy; MOESI-style MSI directory; 4 corner memory controllers, 128cy\n")
+		return
+	}
+
+	d, err := designByName(*design)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *watch > 0 {
+		frames := *measure / *watch
+		if frames < 1 {
+			frames = 1
+		}
+		err := sim.WatchStates(sim.SynthConfig{
+			Design: d, Width: *width, Height: *height,
+			Pattern: *pattern, Rate: *rate,
+			Warmup: *warmup, Seed: *seed, WakeupLatency: *wakeup,
+			ForcedOff: *forcedOff, TwoStageRouter: *twoStage,
+			AggressiveBypass: *aggressive, DynamicClassify: *dynClass,
+		}, *watch, frames, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *powerTrace > 0 {
+		samples, err := sim.PowerTimeSeries(sim.SynthConfig{
+			Design: d, Width: *width, Height: *height,
+			Pattern: *pattern, Rate: *rate,
+			Warmup: *warmup, Measure: *measure,
+			Seed: *seed, WakeupLatency: *wakeup, ForcedOff: *forcedOff,
+			TwoStageRouter: *twoStage, AggressiveBypass: *aggressive,
+			DynamicClassify: *dynClass,
+		}, *powerTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sim.WritePowerSeriesCSV(os.Stdout, samples); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	var res sim.Result
+	if *benchmark != "" {
+		res, err = sim.RunWorkload(sim.WorkloadConfig{
+			Design: d, Benchmark: *benchmark, Scale: *scale,
+			Warmup: *warmup, Seed: *seed, WakeupLatency: *wakeup,
+		})
+	} else {
+		res, err = sim.RunSynthetic(sim.SynthConfig{
+			Design: d, Width: *width, Height: *height,
+			Pattern: *pattern, Rate: *rate,
+			Warmup: *warmup, Measure: *measure,
+			Seed: *seed, WakeupLatency: *wakeup, ForcedOff: *forcedOff,
+			TwoStageRouter: *twoStage, AggressiveBypass: *aggressive,
+			DynamicClassify: *dynClass,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csvOut {
+		w := csv.NewWriter(os.Stdout)
+		if err := w.Write(sim.ResultCSVHeader()); err == nil {
+			_ = w.Write(sim.ResultCSVRecord(res))
+		}
+		w.Flush()
+		return
+	}
+	fmt.Print(sim.FormatResult(res))
+	if *perRouter {
+		fmt.Println()
+		fmt.Print(sim.FormatPerRouter(res))
+	}
+}

@@ -1,0 +1,61 @@
+package nord_test
+
+import (
+	"fmt"
+
+	"nord"
+)
+
+// The smallest possible NoRD simulation: a 4x4 mesh under light uniform
+// random traffic, reporting how much of the time routers slept.
+func ExampleRunSynthetic() {
+	res, err := nord.RunSynthetic(nord.SynthConfig{
+		Design:  nord.NoRD,
+		Rate:    0.02,
+		Warmup:  2_000,
+		Measure: 10_000,
+		Seed:    1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Design, "delivered", res.PacketsDelivered > 0, "gated some routers:", res.OffFraction > 0.2)
+	// Output: NoRD delivered true gated some routers: true
+}
+
+// The offline planner picks the performance-centric routers for the
+// asymmetric wakeup thresholds of Section 4.4.
+func ExamplePerfCentricSet() {
+	set, err := nord.PerfCentricSet(4, 4)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(set)
+	// Output: [2 4 5 6 10 14]
+}
+
+// The power model reproduces the paper's Figure 1(a) anchors exactly.
+func ExampleNewPowerModel() {
+	m, err := nord.NewPowerModel(nord.Tech{NodeNM: 45, Voltage: 1.1, FreqGHz: 3.0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("static share at PARSEC-average load: %.1f%%\n", 100*m.StaticShareAtReferenceLoad())
+	// Output: static share at PARSEC-average load: 35.4%
+}
+
+// Full-system runs execute a PARSEC-like workload on the coherence
+// substrate and report execution time.
+func ExampleRunWorkload() {
+	res, err := nord.RunWorkload(nord.WorkloadConfig{
+		Design:    nord.ConvPGOpt,
+		Benchmark: "swaptions",
+		Scale:     0.02, // tiny quota for a fast example
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("finished:", res.ExecTime > 0, "woke routers:", res.Wakeups > 0)
+	// Output: finished: true woke routers: true
+}

@@ -1,0 +1,49 @@
+// PARSEC-like comparison: run full-system workloads (cores, caches, MSI
+// directory coherence over the NoC) under all four power-gating designs
+// and print the paper's headline metrics per design (the Figures 8-12
+// story at a reduced instruction count).
+//
+//	go run ./examples/parsec                    # three representative apps
+//	go run ./examples/parsec blackscholes x264  # choose your own
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nord"
+)
+
+func main() {
+	benchmarks := []string{"blackscholes", "ferret", "x264"}
+	if len(os.Args) > 1 {
+		benchmarks = os.Args[1:]
+	}
+
+	for _, b := range benchmarks {
+		fmt.Printf("== %s ==\n", b)
+		fmt.Printf("%-13s %10s %10s %10s %12s %10s\n",
+			"design", "exec", "latency", "wakeups", "static(uJ)", "off%")
+		var base nord.Result
+		for _, d := range nord.Designs() {
+			res, err := nord.RunWorkload(nord.WorkloadConfig{
+				Design:    d,
+				Benchmark: b,
+				Scale:     0.1, // 6k instructions per core for a quick demo
+				Seed:      42,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if d == nord.NoPG {
+				base = res
+			}
+			fmt.Printf("%-13s %10d %10.1f %10d %12.3f %9.0f%%\n",
+				d, res.ExecTime, res.AvgPacketLatency, res.Wakeups,
+				res.Energy.RouterStatic*1e6, 100*res.OffFraction)
+		}
+		fmt.Printf("(No_PG is the performance lower bound: exec %d, latency %.1f)\n\n",
+			base.ExecTime, base.AvgPacketLatency)
+	}
+}

@@ -1,0 +1,49 @@
+// Trace-driven comparison: record the coherence traffic of one
+// full-system workload once, then replay the identical packet stream
+// across all four power-gating designs — the standard trace methodology
+// for isolating the network's contribution.
+//
+//	go run ./examples/tracereplay
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"nord"
+)
+
+func main() {
+	// 1. Record: one full-system run (cores + caches + directory) on the
+	// No_PG baseline produces the packet trace.
+	tr, rec, err := nord.RecordWorkloadTrace(nord.WorkloadConfig{
+		Design:    nord.NoPG,
+		Benchmark: "fluidanimate",
+		Scale:     0.1,
+		Seed:      5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "fluidanimate.trace.gz")
+	if err := tr.Save(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded %d packets over %d cycles -> %s\n\n", len(tr.Events), rec.ExecTime, path)
+
+	// 2. Replay: the same traffic hits each design; only the network
+	// differs, so the comparison is apples to apples.
+	fmt.Printf("%-13s %10s %10s %10s %10s\n", "design", "latency", "wakeups", "off%", "power(W)")
+	for _, d := range nord.Designs() {
+		res, err := nord.ReplayTrace(nord.TraceConfig{Design: d, Path: path}, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s %10.1f %10d %9.0f%% %10.2f\n",
+			d, res.AvgPacketLatency, res.Wakeups, 100*res.OffFraction, res.AvgPowerW)
+	}
+	fmt.Println("\nNoRD rides the bypass ring instead of waking routers: an order of")
+	fmt.Println("magnitude fewer wakeups at lower latency than conventional gating.")
+}

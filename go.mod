@@ -1,0 +1,3 @@
+module nord
+
+go 1.22

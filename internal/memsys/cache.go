@@ -1,0 +1,135 @@
+package memsys
+
+// cacheLine is one way of a set.
+type cacheLine struct {
+	valid bool
+	tag   uint64
+	state lineState
+	lru   uint64 // last-touch stamp
+}
+
+// lineState is the MESI state of an L1 line (the L2 data array only uses
+// valid/invalid).
+type lineState uint8
+
+const (
+	stateI lineState = iota
+	stateS
+	stateE
+	stateM
+)
+
+// String implements fmt.Stringer.
+func (s lineState) String() string {
+	switch s {
+	case stateI:
+		return "I"
+	case stateS:
+		return "S"
+	case stateE:
+		return "E"
+	case stateM:
+		return "M"
+	default:
+		return "?"
+	}
+}
+
+// cache is a set-associative array with LRU replacement. Addresses are
+// block numbers; the offset is already stripped.
+type cache struct {
+	sets    uint64
+	ways    int
+	lines   []cacheLine // sets * ways
+	stamp   uint64
+	hits    uint64
+	misses  uint64
+	evicted uint64
+}
+
+// newCache builds a cache of the given geometry. sets must be a power of
+// two.
+func newCache(sets uint64, ways int) *cache {
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic("memsys: cache sets must be a power of two")
+	}
+	if ways < 1 {
+		panic("memsys: cache needs at least one way")
+	}
+	return &cache{sets: sets, ways: ways, lines: make([]cacheLine, sets*uint64(ways))}
+}
+
+func (c *cache) set(block uint64) []cacheLine {
+	s := block & (c.sets - 1)
+	return c.lines[s*uint64(c.ways) : (s+1)*uint64(c.ways)]
+}
+
+// lookup returns the line holding block, or nil. It touches LRU on hit.
+func (c *cache) lookup(block uint64) *cacheLine {
+	tag := block / c.sets
+	set := c.set(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stamp++
+			set[i].lru = c.stamp
+			c.hits++
+			return &set[i]
+		}
+	}
+	c.misses++
+	return nil
+}
+
+// peek is lookup without touching LRU or hit/miss counters.
+func (c *cache) peek(block uint64) *cacheLine {
+	tag := block / c.sets
+	set := c.set(block)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert fills block, returning the victim's block number and state if a
+// valid line had to be evicted.
+func (c *cache) insert(block uint64, st lineState) (victimBlock uint64, victimState lineState, evicted bool) {
+	tag := block / c.sets
+	set := c.set(block)
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			evicted = false
+			goto fill
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	evicted = true
+	victimBlock = set[victim].tag*c.sets + (block & (c.sets - 1))
+	victimState = set[victim].state
+	c.evicted++
+fill:
+	c.stamp++
+	set[victim] = cacheLine{valid: true, tag: tag, state: st, lru: c.stamp}
+	return victimBlock, victimState, evicted
+}
+
+// invalidate drops block if present.
+func (c *cache) invalidate(block uint64) {
+	if l := c.peek(block); l != nil {
+		l.valid = false
+	}
+}
+
+// hitRate returns the fraction of lookups that hit.
+func (c *cache) hitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}

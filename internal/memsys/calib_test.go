@@ -1,0 +1,75 @@
+package memsys
+
+import (
+	"testing"
+
+	"nord/internal/flit"
+	"nord/internal/noc"
+)
+
+// TestProfileCalibration checks that the PARSEC-like profiles reproduce
+// the paper's workload characteristics in shape: router idleness spans a
+// wide band with blackscholes idlest and x264 busiest (Section 3.1
+// reports 71.2% and 30.4%), and the majority of idle periods are at or
+// below the 10-cycle breakeven time (Section 3.2 reports >61%).
+func TestProfileCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration run is slow")
+	}
+	type point struct {
+		load, idle, le10 float64
+	}
+	results := map[string]point{}
+	for _, prof := range Profiles() {
+		prof.InstrPerCore = 6000
+		p := noc.DefaultParams(noc.NoPG)
+		p.Classes = flit.NumClasses
+		net := noc.MustNew(p)
+		sys, err := NewSystem(net, prof, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.BeginMeasurement()
+		if _, err := sys.Run(8_000_000); err != nil {
+			t.Fatalf("%s: %v", prof.Name, err)
+		}
+		net.FinishMeasurement()
+		col := net.Collector()
+		results[prof.Name] = point{
+			load: float64(col.FlitsDelivered) / float64(col.Cycles) / 16.0,
+			idle: col.IdleFraction(),
+			le10: col.IdlePeriods.FracLE(10),
+		}
+	}
+	for name, r := range results {
+		if r.load < 0.02 || r.load > 0.30 {
+			t.Errorf("%s: load %.4f outside the paper's low-to-medium band", name, r.load)
+		}
+		if r.idle < 0.25 || r.idle > 0.90 {
+			t.Errorf("%s: idle fraction %.3f outside the plausible band", name, r.idle)
+		}
+	}
+	bs, x := results["blackscholes"], results["x264"]
+	if bs.idle < 0.70 {
+		t.Errorf("blackscholes idle %.3f, want the idlest (>0.70)", bs.idle)
+	}
+	if x.idle > 0.55 {
+		t.Errorf("x264 idle %.3f, want the busiest (<0.55)", x.idle)
+	}
+	for name, r := range results {
+		if r.idle > bs.idle+0.02 {
+			t.Errorf("%s idler (%.3f) than blackscholes (%.3f)", name, r.idle, bs.idle)
+		}
+		if r.idle < x.idle-0.02 {
+			t.Errorf("%s busier (%.3f) than x264 (%.3f)", name, r.idle, x.idle)
+		}
+	}
+	// Average short-idle-period fraction near the paper's 61%.
+	sum := 0.0
+	for _, r := range results {
+		sum += r.le10
+	}
+	if avg := sum / float64(len(results)); avg < 0.45 || avg > 0.85 {
+		t.Errorf("average idle-periods-<=BET fraction %.3f, paper reports ~0.61", avg)
+	}
+}

@@ -1,0 +1,70 @@
+package noc
+
+import (
+	"testing"
+
+	"nord/internal/flit"
+	"nord/internal/traffic"
+)
+
+// TestDynamicClassifyTracksHotspot: with demand concentrated on one
+// corner of the mesh, dynamic reclassification should promote routers
+// near the hotspot into the performance-centric class.
+func TestDynamicClassifyTracksHotspot(t *testing.T) {
+	p := DefaultParams(NoRD)
+	p.DynamicClassify = true
+	p.ReclassifyPeriod = 512
+	n := MustNew(p)
+	n.BeginMeasurement()
+	// All traffic into node 0 from its row/column neighborhood.
+	inj := traffic.NewSynthetic(n, traffic.Hotspot([]int{0, 1, 4}, 1.0), 0.12, 3)
+	for c := 0; c < 6_000; c++ {
+		inj.Tick(n.Cycle())
+		n.Tick()
+	}
+	perf := n.PerfCentricNow()
+	if len(perf) != 6 {
+		t.Fatalf("performance-centric class has %d routers, want 3N/8 = 6", len(perf))
+	}
+	nearHot := 0
+	for _, id := range perf {
+		if n.mesh.HopDist(id, 0) <= 2 {
+			nearHot++
+		}
+	}
+	if nearHot < 3 {
+		t.Errorf("only %d of the perf-centric routers %v are near the hotspot", nearHot, perf)
+	}
+}
+
+// TestDynamicClassifyCorrectness: the reclassification machinery must not
+// break delivery or conservation invariants.
+func TestDynamicClassifyCorrectness(t *testing.T) {
+	p := DefaultParams(NoRD)
+	p.DynamicClassify = true
+	p.ReclassifyPeriod = 256
+	stressOne(t, p, traffic.UniformRandom, 0.10, 6000, 81)
+}
+
+// TestDynamicClassifyValidation: a zero period is rejected.
+func TestDynamicClassifyValidation(t *testing.T) {
+	p := DefaultParams(NoRD)
+	p.DynamicClassify = true
+	p.ReclassifyPeriod = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero reclassify period should fail validation")
+	}
+}
+
+// TestPerfCentricNowStatic reports the fixed planner class when dynamic
+// classification is off.
+func TestPerfCentricNowStatic(t *testing.T) {
+	p := DefaultParams(NoRD)
+	p.PerfCentric = []int{2, 4, 5}
+	n := MustNew(p)
+	got := n.PerfCentricNow()
+	if len(got) != 3 {
+		t.Fatalf("got %v, want the 3 configured routers", got)
+	}
+	_ = flit.ClassRequest
+}

@@ -1,0 +1,579 @@
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"nord/internal/flit"
+	"nord/internal/stats"
+	"nord/internal/topology"
+)
+
+// watchdogLimit is the number of consecutive cycles without any flit
+// movement (while packets are in flight) after which the network declares
+// itself deadlocked. Wakeup latencies are tens of cycles, so tens of
+// thousands of stalled cycles indicate a protocol bug.
+const watchdogLimit = 50_000
+
+// creditEvt is a pending credit return, applied at the end of the cycle
+// (one-cycle credit propagation).
+type creditEvt struct {
+	router int
+	port   topology.Dir
+	vc     int
+}
+
+// Network is the complete NoC fabric: routers, NIs, links and the
+// measurement machinery, advanced one cycle at a time by Tick.
+type Network struct {
+	p    Params
+	mesh topology.Mesh
+	ring *topology.Ring
+
+	routers []*Router
+	nis     []*NI
+
+	// links[id][dir] holds flits in flight on the unidirectional channel
+	// leaving router id through dir.
+	links [][4][]timedFlit
+
+	cycle        uint64
+	col          *stats.NoC
+	collecting   bool
+	measureFrom  uint64
+	idle         []*stats.IdleTracker
+	ejectHandler func(*flit.Packet, uint64)
+	injectHook   func(*flit.Packet, uint64)
+
+	pendingCredits []creditEvt
+	inFlight       int
+	lastProgress   uint64
+	progressed     bool
+	nextPktID      uint64
+
+	// candScratch is reused by route computation to avoid per-decision
+	// allocations (the network is single-threaded; each decision is
+	// consumed before the next route call).
+	candScratch []cand
+}
+
+// New builds a network from validated parameters.
+func New(p Params) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	mesh, err := topology.NewMesh(p.Width, p.Height)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		p:     p,
+		mesh:  mesh,
+		col:   stats.NewNoC(p.MaxIdlePeriod),
+		links: make([][4][]timedFlit, mesh.N()),
+		idle:  make([]*stats.IdleTracker, mesh.N()),
+	}
+	if p.Design == NoRD {
+		var ring *topology.Ring
+		if p.RingOrder != nil {
+			ring, err = topology.RingFromOrder(mesh, p.RingOrder)
+		} else {
+			ring, err = topology.NewRing(mesh)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("noc: building bypass ring: %w", err)
+		}
+		n.ring = ring
+	}
+	n.routers = make([]*Router, mesh.N())
+	n.nis = make([]*NI, mesh.N())
+	for id := 0; id < mesh.N(); id++ {
+		n.routers[id] = newRouter(id, n)
+		n.nis[id] = newNI(id, n)
+		n.idle[id] = stats.NewIdleTracker(p.MaxIdlePeriod)
+	}
+	if p.Design == NoRD && p.ForcedOff {
+		// Routers start gated off: each ring upstream holds the single
+		// bypass-latch credit per VC (Section 4.3).
+		for id := 0; id < mesh.N(); id++ {
+			out := n.ring.OutDir(id)
+			for v := range n.routers[id].outCredits[out] {
+				n.routers[id].outCredits[out][v] = 1
+			}
+		}
+	}
+	return n, nil
+}
+
+// MustNew is New that panics on invalid parameters.
+func MustNew(p Params) *Network {
+	n, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Params returns the network's configuration.
+func (n *Network) Params() Params { return n.p }
+
+// Mesh returns the underlying mesh topology.
+func (n *Network) Mesh() topology.Mesh { return n.mesh }
+
+// Ring returns the bypass ring (nil for non-NoRD designs).
+func (n *Network) Ring() *topology.Ring { return n.ring }
+
+// Cycle returns the current simulation cycle.
+func (n *Network) Cycle() uint64 { return n.cycle }
+
+// Collector exposes the raw statistics collector.
+func (n *Network) Collector() *stats.NoC { return n.col }
+
+// InFlight returns the number of packets injected but not yet delivered.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// SetDeliveryHandler registers a callback invoked when a packet's tail is
+// ejected at its destination (used by the memory-system substrate).
+func (n *Network) SetDeliveryHandler(f func(*flit.Packet, uint64)) { n.ejectHandler = f }
+
+// BeginMeasurement starts statistics collection (call after warmup).
+// Packets injected before this cycle do not contribute latency samples.
+func (n *Network) BeginMeasurement() {
+	n.collecting = true
+	n.measureFrom = n.cycle
+}
+
+// FinishMeasurement flushes per-router trackers into the collector.
+func (n *Network) FinishMeasurement() {
+	for id, it := range n.idle {
+		it.Flush()
+		n.col.IdlePeriods.Merge(it.Periods())
+		n.col.IdleCycles += it.IdleCycles()
+		n.col.BusyCycles += it.BusyCycles()
+		_ = id
+	}
+}
+
+// NewPacket allocates a packet with a unique ID, ready for Inject.
+func (n *Network) NewPacket(src, dst int, class flit.Class, length int) *flit.Packet {
+	n.nextPktID++
+	return &flit.Packet{ID: n.nextPktID, Src: src, Dst: dst, Class: class, Length: length}
+}
+
+// SetInjectHook registers a callback invoked for every packet accepted
+// into an NI (used by the trace recorder).
+func (n *Network) SetInjectHook(f func(*flit.Packet, uint64)) { n.injectHook = f }
+
+// Inject queues a packet at its source NI; it reports false when the
+// injection queue is full (backpressure to the traffic source).
+func (n *Network) Inject(p *flit.Packet) bool {
+	if !n.mesh.Valid(p.Src) || !n.mesh.Valid(p.Dst) || p.Src == p.Dst {
+		return false
+	}
+	if !n.nis[p.Src].inject(p) {
+		return false
+	}
+	if n.injectHook != nil {
+		n.injectHook(p, n.cycle)
+	}
+	return true
+}
+
+// RouterPowerOn reports whether router id is powered on (PG deasserted).
+func (n *Network) RouterPowerOn(id int) bool { return n.routers[id].on() }
+
+// RouterStateName returns "on", "off" or "waking" for router id.
+func (n *Network) RouterStateName(id int) string { return n.routers[id].state.String() }
+
+// Tick advances the network by one cycle.
+func (n *Network) Tick() {
+	n.cycle++
+	n.progressed = false
+
+	// 1. Link traversal completion: deliver flits whose LT finished.
+	n.deliverLinks()
+	// 2. NI wire deliveries (ejections and local-port injections).
+	for _, ni := range n.nis {
+		ni.tickDeliver()
+	}
+	// 3. Router ST: last cycle's SA winners leave on links.
+	for _, r := range n.routers {
+		r.tickST()
+	}
+	// 4. NI pipelines: bypass stage 3/2, injection engines.
+	for _, ni := range n.nis {
+		ni.tick()
+	}
+	// 5-7. Router SA, VA, RC (reverse pipeline order so a flit advances
+	// at most one stage per cycle).
+	for _, r := range n.routers {
+		r.tickSA()
+	}
+	for _, r := range n.routers {
+		r.tickVA()
+	}
+	for _, r := range n.routers {
+		r.tickRC()
+	}
+	// 8. Power-gating controllers.
+	for _, r := range n.routers {
+		r.saGrantsLastCycle = r.saGrantsThisCycle
+		r.saGrantsThisCycle = 0
+		r.tickController()
+	}
+	// 8b. Dynamic reclassification (Section 4.4 extension).
+	if n.p.Design == NoRD && n.p.DynamicClassify && n.cycle%uint64(n.p.ReclassifyPeriod) == 0 {
+		n.reclassify()
+	}
+	// 9. Credit propagation.
+	for _, ev := range n.pendingCredits {
+		n.applyCredit(ev)
+	}
+	n.pendingCredits = n.pendingCredits[:0]
+	// 10. Statistics and the deadlock watchdog.
+	n.tickStats()
+	if n.progressed {
+		n.lastProgress = n.cycle
+	} else if n.inFlight > 0 && n.cycle-n.lastProgress > watchdogLimit {
+		panic(fmt.Sprintf("noc: no progress for %d cycles with %d packets in flight (deadlock?) design=%v cycle=%d",
+			watchdogLimit, n.inFlight, n.p.Design, n.cycle))
+	}
+}
+
+// Run advances the network by the given number of cycles.
+func (n *Network) Run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		n.Tick()
+	}
+}
+
+// Drain runs until all in-flight packets are delivered or maxCycles pass;
+// it returns an error in the latter case.
+func (n *Network) Drain(maxCycles int) error {
+	for i := 0; i < maxCycles; i++ {
+		if n.inFlight == 0 {
+			return nil
+		}
+		n.Tick()
+	}
+	if n.inFlight != 0 {
+		return fmt.Errorf("noc: %d packets still in flight after %d drain cycles", n.inFlight, maxCycles)
+	}
+	return nil
+}
+
+// deliverLinks completes link traversal for due flits.
+func (n *Network) deliverLinks() {
+	for id := range n.links {
+		for d := 0; d < 4; d++ {
+			q := n.links[id][d]
+			if len(q) == 0 {
+				continue
+			}
+			keep := q[:0]
+			for _, tf := range q {
+				if tf.at > n.cycle {
+					keep = append(keep, tf)
+					continue
+				}
+				n.deliverFlit(id, topology.Dir(d), tf.f)
+			}
+			n.links[id][d] = keep
+		}
+	}
+}
+
+// deliverFlit hands a flit that left router `from` on port `dir` to the
+// downstream router or, when that router is gated off (or the flit's
+// packet is mid-bypass), to its NI bypass.
+func (n *Network) deliverFlit(from int, dir topology.Dir, f *flit.Flit) {
+	to, ok := n.mesh.Neighbor(from, dir)
+	if !ok {
+		panic(fmt.Sprintf("noc: flit sent off the edge of the mesh from %d dir %v", from, dir))
+	}
+	n.progressed = true
+	r := n.routers[to]
+	inPort := dir.Opposite()
+	if n.p.Design == NoRD && inPort == n.ring.InDir(to) {
+		if !r.on() || r.bypassRemaining[f.VC] > 0 || n.nis[to].latch[f.VC] != nil || n.nis[to].fwdOutVC[f.VC] >= 0 {
+			n.nis[to].deliverBypass(f)
+			return
+		}
+	}
+	if !r.on() {
+		panic(fmt.Sprintf("noc: flit delivered to gated-off router %d on non-bypass port %v", to, inPort))
+	}
+	if f.Kind.IsHead() {
+		f.Packet.Hops++
+	}
+	r.acceptFlit(inPort, f)
+}
+
+// sendLink places a flit on the unidirectional channel leaving router id
+// through dir; delivery happens after the 1-cycle link traversal (the
+// flit appears downstream at cycle+2: ST this cycle, LT next).
+func (n *Network) sendLink(id int, dir topology.Dir, f *flit.Flit) {
+	n.sendLinkDelay(id, dir, f, 2)
+}
+
+// sendLinkDelay is sendLink with an explicit delivery delay; the
+// aggressive bypass uses delay 1 (no ST stage: the flit goes straight
+// from Bypass Inport to Bypass Outport within the arrival cycle).
+func (n *Network) sendLinkDelay(id int, dir topology.Dir, f *flit.Flit, delay uint64) {
+	if dir >= topology.Local {
+		panic("noc: sendLink on local port")
+	}
+	n.links[id][dir] = append(n.links[id][dir], timedFlit{f: f, at: n.cycle + delay})
+	n.progressed = true
+	if n.collecting {
+		n.col.LinkTraversals++
+	}
+}
+
+// linkBusy reports flits in flight on the channel leaving id through dir.
+func (n *Network) linkBusy(id int, dir topology.Dir) bool {
+	return len(n.links[id][dir]) > 0
+}
+
+// creditReturn schedules a credit for the upstream of router id's input
+// (port, vc): the mesh neighbor for mesh ports, the NI for the Local port.
+func (n *Network) creditReturn(id int, port topology.Dir, vc int) {
+	n.pendingCredits = append(n.pendingCredits, creditEvt{router: id, port: port, vc: vc})
+}
+
+func (n *Network) applyCredit(ev creditEvt) {
+	if ev.port == topology.Local {
+		n.nis[ev.router].localCredits[ev.vc]++
+		return
+	}
+	nb, ok := n.mesh.Neighbor(ev.router, ev.port)
+	if !ok {
+		panic("noc: credit return off the mesh")
+	}
+	n.routers[nb].outCredits[ev.port.Opposite()][ev.vc]++
+}
+
+// addRingUpstreamCredits tops up the ring predecessor's credits toward
+// router id on VC vc (wakeup credit restoration, Section 4.3).
+func (n *Network) addRingUpstreamCredits(id, vc, add int) {
+	pred := n.ring.Pred(id)
+	n.routers[pred].outCredits[n.ring.OutDir(pred)][vc] += add
+}
+
+// deliverPacket finalises a delivered packet (tail ejected).
+func (n *Network) deliverPacket(p *flit.Packet) {
+	n.inFlight--
+	n.progressed = true
+	if n.collecting && p.InjectTime >= n.measureFrom {
+		n.col.PacketsDelivered++
+		n.col.FlitsDelivered += uint64(p.Length)
+		n.col.PacketLatency.Add(float64(n.cycle - p.InjectTime))
+		n.col.LatencyHist.Add(n.cycle - p.InjectTime)
+		n.col.NetworkLatency.Add(float64(n.cycle - p.EnqueueTime))
+		n.col.Hops.Add(float64(p.Hops))
+	}
+	if n.ejectHandler != nil {
+		n.ejectHandler(p, n.cycle)
+	}
+}
+
+// tickStats accumulates per-cycle statistics.
+func (n *Network) tickStats() {
+	if !n.collecting {
+		return
+	}
+	n.col.Cycles++
+	for id, r := range n.routers {
+		n.idle[id].Record(r.busy())
+		switch r.state {
+		case powerOn:
+			n.col.RouterOnCycles++
+		case powerOff:
+			n.col.RouterOffCycles++
+			r.statOffCycles++
+		case powerWaking:
+			n.col.RouterWakingCycles++
+		}
+	}
+}
+
+// Statistic note helpers, gated on measurement.
+
+func (n *Network) notePacketInjected() {
+	n.inFlight++
+	if n.collecting {
+		n.col.PacketsInjected++
+	}
+}
+
+func (n *Network) noteSAGrant(inPort topology.Dir) {
+	n.progressed = true
+	if !n.collecting {
+		return
+	}
+	n.col.BufReads++
+	n.col.XbarTraversals++
+	n.col.SAArbs++
+	n.col.ClockedFlitHops++
+	_ = inPort
+}
+
+func (n *Network) noteVCRequests(r uint32) {
+	if n.collecting {
+		n.col.NIVCRequests += uint64(r)
+	}
+}
+
+func (n *Network) noteVAGrant() {
+	if n.collecting {
+		n.col.VAArbs++
+	}
+}
+
+func (n *Network) noteBufWrite() {
+	if n.collecting {
+		n.col.BufWrites++
+	}
+}
+
+func (n *Network) noteWakeup() {
+	if n.collecting {
+		n.col.Wakeups++
+	}
+}
+
+func (n *Network) noteGateOff() {
+	if n.collecting {
+		n.col.GateOffs++
+	}
+}
+
+func (n *Network) noteWakeStall(cycles uint64) {
+	if n.collecting {
+		n.col.WakeupStall.Add(float64(cycles))
+	}
+}
+
+func (n *Network) noteMisroute() {
+	if n.collecting {
+		n.col.MisroutedHops++
+	}
+}
+
+func (n *Network) noteEscape() {
+	if n.collecting {
+		n.col.EscapedPackets++
+	}
+}
+
+func (n *Network) noteBypassHop() {
+	n.progressed = true
+	if n.collecting {
+		n.col.BypassHops++
+	}
+}
+
+func (n *Network) noteBypassInject() {
+	n.progressed = true
+	if n.collecting {
+		n.col.BypassInjections++
+	}
+}
+
+func (n *Network) noteBypassEject() {
+	n.progressed = true
+	if n.collecting {
+		n.col.BypassEjections++
+	}
+}
+
+// reclassify re-ranks routers by demand integrated since the last round
+// and assigns the busiest 3N/8 the performance-centric thresholds.
+func (n *Network) reclassify() {
+	type ranked struct {
+		id     int
+		demand uint64
+	}
+	rs := make([]ranked, len(n.nis))
+	for id, ni := range n.nis {
+		rs[id] = ranked{id: id, demand: ni.demandAccum}
+		ni.demandAccum = 0
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].demand != rs[j].demand {
+			return rs[i].demand > rs[j].demand
+		}
+		return rs[i].id < rs[j].id
+	})
+	k := 3 * len(rs) / 8
+	perf := make(map[int]bool, k)
+	for _, r := range rs[:k] {
+		perf[r.id] = true
+	}
+	for id, ni := range n.nis {
+		ni.setClass(perf[id])
+	}
+}
+
+// PerfCentricNow returns the router IDs currently holding the
+// performance-centric thresholds (fixed or dynamically assigned).
+func (n *Network) PerfCentricNow() []int {
+	var out []int
+	for id, ni := range n.nis {
+		if ni.threshold == n.p.ThresholdPerf && n.p.ThresholdPerf != n.p.ThresholdPower {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RouterReport is one router's spatial statistics over the measured
+// interval.
+type RouterReport struct {
+	ID           int
+	X, Y         int
+	IdleFraction float64
+	OffFraction  float64
+	Wakeups      uint64
+	FlitsRouted  uint64 // SA grants (normal pipeline traversals)
+	BypassFlits  uint64 // flits forwarded through the NI bypass
+	PerfCentric  bool
+}
+
+// PerRouterReports returns per-router statistics for spatial analysis
+// (utilisation heat maps, gating behaviour per location).
+func (n *Network) PerRouterReports() []RouterReport {
+	out := make([]RouterReport, len(n.routers))
+	perf := map[int]bool{}
+	for _, id := range n.PerfCentricNow() {
+		perf[id] = true
+	}
+	for id, r := range n.routers {
+		x, y := n.mesh.Coord(id)
+		it := n.idle[id]
+		total := it.IdleCycles() + it.BusyCycles()
+		rep := RouterReport{
+			ID: id, X: x, Y: y,
+			IdleFraction: it.IdleFraction(),
+			Wakeups:      r.statWakeups,
+			FlitsRouted:  r.statSAGrants,
+			BypassFlits:  r.statBypassFlits,
+			PerfCentric:  perf[id],
+		}
+		if total > 0 {
+			rep.OffFraction = float64(r.statOffCycles) / float64(total)
+		}
+		out[id] = rep
+	}
+	return out
+}
+
+// HasPGController reports whether routers carry the always-on monitoring
+// controller (any gated design).
+func (n *Network) HasPGController() bool { return n.p.Design.PowerGated() }
+
+// HasBypass reports whether the NoRD bypass datapath is present.
+func (n *Network) HasBypass() bool { return n.p.Design == NoRD }
+
+// NumLinks returns the number of unidirectional inter-router channels.
+func (n *Network) NumLinks() int { return n.p.numLinks() }

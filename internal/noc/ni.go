@@ -1,0 +1,657 @@
+package noc
+
+import (
+	"nord/internal/flit"
+	"nord/internal/stats"
+	"nord/internal/topology"
+)
+
+// injMode describes how the NI is currently injecting a packet.
+type injMode uint8
+
+const (
+	modeNone  injMode = iota
+	modeLocal         // through the router's Local input port (router on)
+	modeRing          // through the Bypass Outport (NoRD, router gated off)
+)
+
+type timedFlit struct {
+	f  *flit.Flit
+	at uint64
+}
+
+// NI is a node's network interface. Besides the usual injection and
+// ejection queues it implements NoRD's decoupling bypass (Section 4.2,
+// Figure 4c): a per-VC single-flit latch fed by the router's Bypass
+// Inport, a VC-check/forward stage, and a re-injection stage multiplexed
+// with local injection onto the Bypass Outport. The NI also computes the
+// VC-request wakeup metric over a sliding window (Section 4.3).
+type NI struct {
+	id  int
+	net *Network
+
+	// Injection queues, one per protocol class, in packets.
+	injQ [][]*flit.Packet
+	// Current packet being injected.
+	curFlits   []*flit.Flit
+	curVC      int
+	curMode    injMode
+	allocCycle uint64
+	classRR    int
+
+	// localCredits tracks free slots of the router's Local input VCs.
+	localCredits []int
+	// toLocal holds flits in flight over the short NI->router wire.
+	toLocal []timedFlit
+	// ejPend holds flits in flight from the router's Local output.
+	ejPend []timedFlit
+
+	// Bypass engine (NoRD only).
+	latch     []*flit.Flit // one-flit latch per ring VC
+	fwdOutVC  []int        // downstream VC held by the in-progress forward, -1 if none
+	fwdFails  []int        // consecutive failed allocations per latch VC
+	injFails  int          // consecutive failed ring-injection allocations
+	injectOut *flit.Flit   // stage-3 register: re-injection onto the Bypass Outport
+	injectFwd bool         // injectOut carries forwarded (vs locally injected) traffic
+	bypassRR  int
+	starve    int
+
+	// window accumulates per-cycle VC request counts for the wakeup
+	// metric; threshold is this node's asymmetric wakeup threshold.
+	window    *stats.Window
+	threshold int
+	// quietRun counts consecutive cycles with the demand window at or
+	// below gateSlack; gating requires it to reach quietNeed (longer for
+	// performance-centric routers, which sleep late as well as waking
+	// early). Power-centric routers tolerate a light trickle (the bypass
+	// will carry it), trading a little latency for static energy.
+	quietRun  int
+	quietNeed int
+	gateSlack uint64
+	// demandAccum integrates the windowed demand signal between
+	// reclassification rounds (DynamicClassify).
+	demandAccum uint64
+}
+
+func newNI(id int, net *Network) *NI {
+	p := &net.p
+	V := p.vcsPerPort()
+	ni := &NI{
+		id:           id,
+		net:          net,
+		injQ:         make([][]*flit.Packet, p.Classes),
+		localCredits: make([]int, V),
+		latch:        make([]*flit.Flit, V),
+		fwdOutVC:     make([]int, V),
+		fwdFails:     make([]int, V),
+		window:       stats.NewWindow(max(p.WakeupWindow, 1)),
+		threshold:    p.ThresholdPower,
+	}
+	for v := range ni.localCredits {
+		ni.localCredits[v] = p.BufferDepth
+		ni.fwdOutVC[v] = -1
+	}
+	ni.setClass(false)
+	for _, pc := range p.PerfCentric {
+		if pc == id {
+			ni.setClass(true)
+		}
+	}
+	return ni
+}
+
+// setClass assigns this NI's wakeup behaviour to the performance-centric
+// or power-centric class (Section 4.4).
+func (ni *NI) setClass(perf bool) {
+	p := &ni.net.p
+	if perf {
+		ni.threshold = p.ThresholdPerf
+		ni.quietNeed = 2 * p.WakeupWindow
+		ni.gateSlack = 0
+	} else {
+		ni.threshold = p.ThresholdPower
+		ni.quietNeed = p.WakeupWindow
+		ni.gateSlack = 1
+	}
+}
+
+// inject enqueues a packet for injection; it reports false (backpressure)
+// when the class queue is full.
+func (ni *NI) inject(p *flit.Packet) bool {
+	c := int(p.Class)
+	if len(ni.injQ[c]) >= ni.net.p.InjectQueueDepth {
+		return false
+	}
+	p.InjectTime = ni.net.cycle
+	ni.injQ[c] = append(ni.injQ[c], p)
+	ni.net.notePacketInjected()
+	return true
+}
+
+// queuedPackets returns the number of packets waiting or mid-injection.
+func (ni *NI) queuedPackets() int {
+	n := 0
+	for _, q := range ni.injQ {
+		n += len(q)
+	}
+	if len(ni.curFlits) > 0 {
+		n++
+	}
+	return n
+}
+
+// injectInFlight reports flits on the NI->router local wire (part of the
+// IC incoming check).
+func (ni *NI) injectInFlight() bool { return len(ni.toLocal) > 0 }
+
+// wantsRouterOn reports whether the node needs its router awake: for
+// conventional designs any pending injection requires the router
+// (node-router dependence); NoRD never does.
+func (ni *NI) wantsRouterOn() bool {
+	if ni.net.p.Design == NoRD {
+		return false
+	}
+	return ni.queuedPackets() > 0
+}
+
+// wakeupMetricHigh reports whether the windowed VC-request count has
+// reached this node's threshold (NoRD's wakeup condition).
+func (ni *NI) wakeupMetricHigh() bool {
+	return ni.window.Sum() >= uint64(ni.threshold)
+}
+
+// deliverEject accepts a flit leaving the router's Local output (ST
+// stage); it reaches the node next cycle.
+func (ni *NI) deliverEject(f *flit.Flit) {
+	ni.ejPend = append(ni.ejPend, timedFlit{f: f, at: ni.net.cycle + 1})
+}
+
+// deliverBypass accepts a flit arriving over the Bypass Inport link while
+// the router is gated off (or mid-bypass after a wakeup). Flits destined
+// to this node are sunk directly through the ejection demultiplexer;
+// transit flits land in the per-VC bypass latch.
+func (ni *NI) deliverBypass(f *flit.Flit) {
+	r := ni.net.routers[ni.id]
+	inDir := ni.net.ring.InDir(ni.id)
+	if f.Kind.IsHead() {
+		f.Packet.Hops++
+	}
+	if f.Packet.Dst == ni.id {
+		// Sink: the latch is not occupied, so the credit returns at once.
+		ni.net.creditReturn(ni.id, inDir, f.VC)
+		ni.net.noteBypassEject()
+		if r.bypassRemaining[f.VC] > 0 {
+			r.bypassRemaining[f.VC]--
+		}
+		if f.Kind.IsTail() {
+			ni.net.deliverPacket(f.Packet)
+		} else if f.Kind.IsHead() {
+			r.bypassRemaining[f.VC] = f.Packet.Length - 1
+		}
+		return
+	}
+	if ni.latch[f.VC] != nil {
+		panic("noc: bypass latch overrun (ring credit protocol violated)")
+	}
+	if ni.net.p.AggressiveBypass && ni.tryAggressiveForward(r, f) {
+		return
+	}
+	ni.latch[f.VC] = f
+	if f.Kind.IsHead() {
+		r.bypassRemaining[f.VC] = f.Packet.Length - 1
+	} else if r.bypassRemaining[f.VC] > 0 {
+		r.bypassRemaining[f.VC]--
+	}
+}
+
+// tryAggressiveForward implements the Section 6.8 aggressive bypass:
+// forward the arriving flit combinationally from the Bypass Inport to the
+// Bypass Outport within this cycle, optimistically assuming no conflict.
+// It succeeds only when nothing else wants the outport (no latched flits,
+// no pending re-injection, no local traffic) and the downstream VC and
+// credit are immediately available; otherwise the caller falls back to
+// the normal 2-cycle latch pipeline.
+func (ni *NI) tryAggressiveForward(r *Router, f *flit.Flit) bool {
+	if ni.injectOut != nil || ni.curMode == modeRing || ni.localRingHeadPending(r) {
+		return false
+	}
+	for v := range ni.latch {
+		if ni.latch[v] != nil {
+			return false
+		}
+	}
+	ringOut := ni.net.ring.OutDir(ni.id)
+	v := f.VC
+	if f.Kind.IsHead() && ni.fwdOutVC[v] < 0 {
+		granted := false
+		for _, c := range ni.net.bypassCands(r, f.Packet, 0) {
+			if r.outOwner[ringOut][c.vc] != ownerFree || r.outCredits[ringOut][c.vc] <= 0 {
+				continue
+			}
+			r.outOwner[ringOut][c.vc] = owner{port: ownerBypassPort, vc: int16(v)}
+			ni.fwdOutVC[v] = c.vc
+			if c.escape && !f.Packet.Escaped {
+				f.Packet.Escaped = true
+				ni.net.noteEscape()
+			}
+			if c.escape {
+				f.Packet.EscapeVC = c.escapeVCNext
+			}
+			if c.misroute {
+				f.Packet.Misroutes++
+				ni.net.noteMisroute()
+			}
+			granted = true
+			break
+		}
+		if !granted {
+			return false
+		}
+	}
+	out := ni.fwdOutVC[v]
+	if out < 0 || r.outCredits[ringOut][out] <= 0 {
+		return false
+	}
+	r.outCredits[ringOut][out]--
+	// Maintain the mid-bypass bookkeeping exactly as the latch path does
+	// so wakeups mid-packet behave identically.
+	if f.Kind.IsHead() {
+		r.bypassRemaining[v] = f.Packet.Length - 1
+	} else if r.bypassRemaining[v] > 0 {
+		r.bypassRemaining[v]--
+	}
+	// The latch was never occupied: the upstream credit returns at once.
+	ni.net.creditReturn(ni.id, ni.net.ring.InDir(ni.id), v)
+	f.VC = out
+	ni.net.sendLinkDelay(ni.id, ringOut, f, 1)
+	if ni.net.collecting {
+		r.statBypassFlits++
+	}
+	ni.net.noteBypassHop()
+	if f.Kind.IsTail() {
+		r.outOwner[ringOut][out] = ownerFree
+		ni.fwdOutVC[v] = -1
+	}
+	return true
+}
+
+// tickDeliver processes flits whose wire delay expired: ejections reach
+// the node and injected flits reach the router's Local input port.
+func (ni *NI) tickDeliver() {
+	now := ni.net.cycle
+	keepEj := ni.ejPend[:0]
+	for _, tf := range ni.ejPend {
+		if tf.at > now {
+			keepEj = append(keepEj, tf)
+			continue
+		}
+		if tf.f.Kind.IsTail() {
+			ni.net.deliverPacket(tf.f.Packet)
+		}
+	}
+	ni.ejPend = keepEj
+	keepIn := ni.toLocal[:0]
+	for _, tf := range ni.toLocal {
+		if tf.at > now {
+			keepIn = append(keepIn, tf)
+			continue
+		}
+		ni.net.routers[ni.id].acceptFlit(topology.Local, tf.f)
+	}
+	ni.toLocal = keepIn
+}
+
+// tick runs one NI cycle: the bypass stage-3 send, the bypass stage-2
+// VC-check/forward (arbitrated with local injection), local-port
+// injection, and the wakeup-metric window update.
+func (ni *NI) tick() {
+	r := ni.net.routers[ni.id]
+	requests := uint32(0)
+
+	if ni.net.p.Design == NoRD {
+		requests += ni.tickBypass(r)
+	}
+	requests += ni.tickInjection(r)
+
+	// Through-traffic counts as demand while the router is on (the NI's
+	// VC requests stop once the router serves packets normally, but the
+	// node's demand has not dropped).
+	ni.window.Push(requests + r.saGrantsLastCycle)
+	ni.demandAccum += uint64(requests) + uint64(r.saGrantsLastCycle)
+	if ni.window.Sum() <= ni.gateSlack {
+		ni.quietRun++
+	} else {
+		ni.quietRun = 0
+	}
+	ni.net.noteVCRequests(requests)
+}
+
+// tickBypass runs the NoRD bypass pipeline. It returns the number of VC
+// requests made this cycle (for the wakeup metric).
+func (ni *NI) tickBypass(r *Router) uint32 {
+	ringOut := ni.net.ring.OutDir(ni.id)
+	// Stage 3: re-inject last cycle's winner onto the Bypass Outport.
+	if ni.injectOut != nil {
+		f := ni.injectOut
+		ni.injectOut = nil
+		ni.net.sendLink(ni.id, ringOut, f)
+		if ni.injectFwd {
+			if ni.net.collecting {
+				r.statBypassFlits++
+			}
+			ni.net.noteBypassHop()
+		} else {
+			ni.net.noteBypassInject()
+		}
+		if f.Kind.IsTail() {
+			r.outOwner[ringOut][f.VC] = ownerFree
+			if !ni.injectFwd {
+				ni.curFlits = nil
+				ni.curMode = modeNone
+			}
+		}
+	}
+
+	// Stage 2: pick the next flit for the inject register, forwarded
+	// traffic first; the local node gets priority after StarvationLimit
+	// consecutive blocked cycles (Section 4.2). Every occupied latch VC
+	// is tried in rotating order so one blocked head cannot starve a
+	// movable flit (whose departure may free the very VC the head needs).
+	V := ni.net.p.vcsPerPort()
+	hasFwd := false
+	for v := 0; v < V; v++ {
+		if ni.latch[v] != nil {
+			hasFwd = true
+			break
+		}
+	}
+	localWants := ni.localRingHeadPending(r)
+	tryForward := func() bool {
+		for k := 0; k < V; k++ {
+			v := (k + ni.bypassRR) % V
+			if ni.latch[v] == nil {
+				continue
+			}
+			if ni.forwardFromLatch(r, v) {
+				ni.bypassRR = v + 1
+				return true
+			}
+		}
+		return false
+	}
+	if ni.injectOut == nil {
+		localFirst := localWants && ni.starve >= ni.net.p.StarvationLimit
+		moved := false
+		if !localFirst && hasFwd {
+			moved = tryForward()
+			if moved && localWants {
+				ni.starve++
+			}
+		}
+		if !moved {
+			if ni.advanceRingInjection(r) {
+				ni.starve = 0
+				moved = true
+			} else if hasFwd && localFirst {
+				moved = tryForward()
+			}
+		}
+	}
+
+	// The wakeup metric counts demand still outstanding after this
+	// cycle's VC-check stage: an uncontended transit clears its latch
+	// immediately and adds nothing, while congestion leaves flits parked
+	// in the latches re-requesting every cycle ("the number of VC
+	// requests goes up even if the flits are stalled", Section 4.3).
+	requests := uint32(0)
+	for v := 0; v < V; v++ {
+		if ni.latch[v] != nil {
+			requests++
+		}
+	}
+	if !r.on() && (ni.localRingHeadPending(r) || (ni.curMode == modeNone && ni.nextQueuedClass() >= 0)) {
+		requests++ // local traffic still waiting for the ring
+	}
+	if ni.threshold <= 1 && ni.injectOut != nil {
+		// Performance-centric routers (threshold 1) also count served
+		// transits, so they wake at the first sign of use rather than
+		// the first blockage — the "wake up early" intent of the
+		// asymmetric classification (Section 4.4).
+		requests++
+	}
+
+	// Restore withheld ring credits for VCs whose mid-bypass packet has
+	// fully drained after a wakeup (Section 4.3).
+	if r.on() {
+		for v := 0; v < V; v++ {
+			if r.creditsHeld[v] > 0 && r.bypassRemaining[v] == 0 && ni.latch[v] == nil {
+				ni.net.addRingUpstreamCredits(ni.id, v, r.creditsHeld[v])
+				r.creditsHeld[v] = 0
+			}
+		}
+	}
+	return requests
+}
+
+// forwardFromLatch tries to move the latch flit on VC v into the inject
+// register (the VC-check stage (2) of Figure 4c). Heads allocate a
+// downstream VC with the same routing rules the routers use.
+func (ni *NI) forwardFromLatch(r *Router, v int) bool {
+	f := ni.latch[v]
+	ringOut := ni.net.ring.OutDir(ni.id)
+	if f.Kind.IsHead() && ni.fwdOutVC[v] < 0 {
+		cands := ni.net.bypassCands(r, f.Packet, ni.fwdFails[v])
+		granted := false
+		for _, c := range cands {
+			if r.outOwner[ringOut][c.vc] != ownerFree || r.outCredits[ringOut][c.vc] <= 0 {
+				continue
+			}
+			r.outOwner[ringOut][c.vc] = owner{port: ownerBypassPort, vc: int16(v)}
+			ni.fwdOutVC[v] = c.vc
+			if c.escape && !f.Packet.Escaped {
+				f.Packet.Escaped = true
+				ni.net.noteEscape()
+			}
+			if c.escape {
+				f.Packet.EscapeVC = c.escapeVCNext
+			}
+			if c.misroute {
+				f.Packet.Misroutes++
+				ni.net.noteMisroute()
+			}
+			granted = true
+			break
+		}
+		if !granted {
+			ni.fwdFails[v]++
+			return false
+		}
+		ni.fwdFails[v] = 0
+	}
+	out := ni.fwdOutVC[v]
+	if out < 0 {
+		panic("noc: bypass body flit without an allocated downstream VC")
+	}
+	if r.outCredits[ringOut][out] <= 0 {
+		return false
+	}
+	r.outCredits[ringOut][out]--
+	ni.latch[v] = nil
+	// The latch slot frees: return the ring-upstream credit.
+	ni.net.creditReturn(ni.id, ni.net.ring.InDir(ni.id), v)
+	f.VC = out
+	ni.injectOut = f
+	ni.injectFwd = true
+	if f.Kind.IsTail() {
+		ni.fwdOutVC[v] = -1
+	}
+	return true
+}
+
+// localRingHeadPending reports whether local injection needs the ring this
+// cycle (a head awaiting a VC or a body flit awaiting movement).
+func (ni *NI) localRingHeadPending(r *Router) bool {
+	if ni.curMode == modeRing && len(ni.curFlits) > 0 {
+		return true
+	}
+	if ni.curMode != modeNone {
+		return false
+	}
+	// A fresh packet would use the ring when the router is unavailable
+	// (NoRD decoupling: inject anyway).
+	if r.on() {
+		return false
+	}
+	return ni.nextQueuedClass() >= 0
+}
+
+// advanceRingInjection moves one locally injected flit toward the Bypass
+// Outport: allocating a downstream VC for a fresh head, or streaming the
+// next flit of the in-progress packet.
+func (ni *NI) advanceRingInjection(r *Router) bool {
+	ringOut := ni.net.ring.OutDir(ni.id)
+	if ni.curMode == modeNone {
+		if r.on() {
+			return false
+		}
+		c := ni.nextQueuedClass()
+		if c < 0 {
+			return false
+		}
+		pkt := ni.injQ[c][0]
+		cands := ni.net.bypassCands(r, pkt, ni.injFails)
+		for _, cd := range cands {
+			if r.outOwner[ringOut][cd.vc] != ownerFree || r.outCredits[ringOut][cd.vc] <= 0 {
+				continue
+			}
+			r.outOwner[ringOut][cd.vc] = owner{port: ownerBypassPort, vc: -1}
+			ni.injQ[c] = ni.injQ[c][1:]
+			ni.classRR = c + 1
+			ni.curFlits = flit.Flits(pkt)
+			ni.curVC = cd.vc
+			ni.curMode = modeRing
+			pkt.EnqueueTime = ni.net.cycle
+			if cd.escape && !pkt.Escaped {
+				pkt.Escaped = true
+				ni.net.noteEscape()
+			}
+			if cd.escape {
+				pkt.EscapeVC = cd.escapeVCNext
+			}
+			if cd.misroute {
+				pkt.Misroutes++
+				ni.net.noteMisroute()
+			}
+			break
+		}
+		if ni.curMode != modeRing {
+			ni.injFails++
+			return false
+		}
+		ni.injFails = 0
+		// The head moves into the inject register in this same VC-check
+		// stage (symmetric with forwardFromLatch).
+	}
+	if ni.curMode != modeRing || len(ni.curFlits) == 0 {
+		return false
+	}
+	if r.outCredits[ringOut][ni.curVC] <= 0 {
+		return false
+	}
+	f := ni.curFlits[0]
+	ni.curFlits = ni.curFlits[1:]
+	r.outCredits[ringOut][ni.curVC]--
+	f.VC = ni.curVC
+	ni.injectOut = f
+	ni.injectFwd = false
+	return true
+}
+
+// tickInjection advances local-port injection (router on) and falls back
+// to ring injection bookkeeping. It returns VC requests made against the
+// local input port this cycle.
+func (ni *NI) tickInjection(r *Router) uint32 {
+	requests := uint32(0)
+	switch ni.curMode {
+	case modeNone:
+		c := ni.nextQueuedClass()
+		if c < 0 {
+			return 0
+		}
+		if !r.on() {
+			// Conventional designs stall (their WU assertion is handled
+			// by the controller via wantsRouterOn); NoRD's ring path is
+			// handled in tickBypass.
+			if ni.net.p.Design != NoRD {
+				requests++
+			}
+			return requests
+		}
+		requests++
+		pkt := ni.injQ[c][0]
+		if v, ok := ni.freeLocalVC(int(pkt.Class)); ok {
+			ni.injQ[c] = ni.injQ[c][1:]
+			ni.classRR = c + 1
+			ni.curFlits = flit.Flits(pkt)
+			ni.curVC = v
+			ni.curMode = modeLocal
+			ni.allocCycle = ni.net.cycle
+			pkt.EnqueueTime = ni.net.cycle
+		}
+	case modeLocal:
+		if len(ni.curFlits) == 0 {
+			ni.curMode = modeNone
+			return 0
+		}
+		if ni.net.cycle <= ni.allocCycle {
+			return 0
+		}
+		if ni.localCredits[ni.curVC] <= 0 {
+			return 0
+		}
+		f := ni.curFlits[0]
+		ni.curFlits = ni.curFlits[1:]
+		ni.localCredits[ni.curVC]--
+		f.VC = ni.curVC
+		ni.toLocal = append(ni.toLocal, timedFlit{f: f, at: ni.net.cycle + 1})
+		if len(ni.curFlits) == 0 {
+			ni.curMode = modeNone
+		}
+	case modeRing:
+		// Handled by tickBypass.
+	}
+	return requests
+}
+
+// nextQueuedClass returns the class of the next packet to inject
+// (round-robin across classes), or -1 when idle.
+func (ni *NI) nextQueuedClass() int {
+	n := len(ni.injQ)
+	for k := 0; k < n; k++ {
+		c := (k + ni.classRR) % n
+		if len(ni.injQ[c]) > 0 {
+			return c
+		}
+	}
+	return -1
+}
+
+// freeLocalVC finds an idle Local-input VC of the class with full credit.
+func (ni *NI) freeLocalVC(class int) (int, bool) {
+	p := &ni.net.p
+	r := ni.net.routers[ni.id]
+	base := p.vcBase(class)
+	for v := base; v < base+p.VCsPerClass; v++ {
+		if r.in[topology.Local][v].phase == vcIdle && ni.localCredits[v] == p.BufferDepth {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,226 @@
+// Package noc implements the cycle-level on-chip network: canonical
+// 4-stage (RC, VA, SA, ST + LT) wormhole virtual-channel routers on a 2D
+// mesh with credit-based flow control, adaptive routing with Duato-protocol
+// escape resources, and the four power-gating designs the paper compares
+// (No_PG, Conv_PG, Conv_PG_OPT and NoRD with its decoupling bypass ring).
+package noc
+
+import "fmt"
+
+// Design selects the power-gating scheme (Section 5.1's comparison set).
+type Design int
+
+const (
+	// NoPG is the baseline without power-gating: routers are always on.
+	NoPG Design = iota
+	// ConvPG applies conventional power-gating: a router gates off when
+	// its datapath is empty and wakes when a neighbor's switch-allocation
+	// request or the local NI needs it, exposing the full wakeup latency.
+	ConvPG
+	// ConvPGOpt is ConvPG optimised with early wakeup: the WU signal is
+	// generated as soon as the upstream route is computed, hiding
+	// EarlyWakeupCycles of the wakeup latency and avoiding gate-offs for
+	// idle periods shorter than the early-wakeup horizon.
+	ConvPGOpt
+	// NoRD decouples nodes from routers with the bypass ring: packets are
+	// sent, received and forwarded through the NI bypass of gated-off
+	// routers, and wakeups are driven by the NI VC-request metric.
+	NoRD
+)
+
+// String implements fmt.Stringer.
+func (d Design) String() string {
+	switch d {
+	case NoPG:
+		return "No_PG"
+	case ConvPG:
+		return "Conv_PG"
+	case ConvPGOpt:
+		return "Conv_PG_OPT"
+	case NoRD:
+		return "NoRD"
+	default:
+		return fmt.Sprintf("design(%d)", int(d))
+	}
+}
+
+// PowerGated reports whether the design gates routers at all.
+func (d Design) PowerGated() bool { return d != NoPG }
+
+// Params configures a network. The zero value is not usable; start from
+// DefaultParams.
+type Params struct {
+	// Width, Height give the mesh dimensions (Table 1: 4x4 and 8x8).
+	Width, Height int
+	// Classes is the number of protocol classes (1 for synthetic traffic,
+	// 2 for the coherence substrate: requests and responses).
+	Classes int
+	// VCsPerClass is the number of virtual channels per protocol class
+	// (Table 1: 4). Within a class, escape VCs come first: 1 for
+	// conventional designs (XY escape), 2 for NoRD (ring escape with a
+	// dateline); the remainder are adaptive.
+	VCsPerClass int
+	// BufferDepth is the input-buffer depth in flits (Table 1: 5).
+	BufferDepth int
+	// Design selects the power-gating scheme.
+	Design Design
+	// WakeupLatency is the cycles needed to power a router back on
+	// (Section 5.1: 12 cycles = 4ns at 3GHz).
+	WakeupLatency int
+	// EarlyWakeupCycles is the wakeup latency hidden by early WU
+	// generation in Conv_PG_OPT (Section 5.1: 3).
+	EarlyWakeupCycles int
+	// GateIdleCycles is the consecutive empty cycles a router requires
+	// before gating off, covering flits in the ST and LT stages of
+	// neighbors (the IC signal of Section 4.3: 2 cycles).
+	GateIdleCycles int
+	// MisrouteCap bounds the non-minimal hops a NoRD packet may take on
+	// adaptive resources before being forced onto the escape ring
+	// (Section 4.2's livelock bound).
+	MisrouteCap int
+	// WakeupWindow is the sliding window (cycles) of the NoRD VC-request
+	// wakeup metric (Section 4.3: 10).
+	WakeupWindow int
+	// ThresholdPerf / ThresholdPower are the asymmetric wakeup thresholds
+	// (Section 6.1 picks 1 for performance-centric routers and 3 for
+	// power-centric routers on the paper's metric; this implementation's
+	// blocked-request metric calibrates empirically to 1 and 6 — the same
+	// methodology, re-run against this simulator, per Section 6.1's
+	// "determined empirically").
+	ThresholdPerf, ThresholdPower int
+	// PerfCentric lists the performance-centric router IDs (Section 4.4;
+	// the Figure 6 planner picks {4,5,6,7,13,14} for the 4x4 mesh). Nil
+	// means all routers are power-centric.
+	PerfCentric []int
+	// ForcedOff keeps every router asleep regardless of load, the
+	// Figure 7 methodology for measuring pure bypass-ring throughput.
+	ForcedOff bool
+	// InjectQueueDepth is the per-class NI injection queue capacity in
+	// packets; injection fails (backpressure) when full.
+	InjectQueueDepth int
+	// StarvationLimit grants the local node priority over bypass-forward
+	// traffic after this many consecutive blocked cycles (Section 4.2).
+	StarvationLimit int
+	// MaxIdlePeriod bounds the idle-period histogram in cycles.
+	MaxIdlePeriod int
+	// RingOrder optionally overrides the bypass-ring node sequence
+	// (must be a Hamiltonian cycle); nil selects the comb serpentine.
+	RingOrder []int
+	// AggressiveBypass enables the Section 6.8 optimisation: when a flit
+	// arriving at a gated-off router's Bypass Inport can proceed
+	// immediately (downstream VC and credit available, no conflicting
+	// traffic at the NI), it is forwarded combinationally from Bypass
+	// Inport to Bypass Outport in a single cycle instead of the 2-cycle
+	// latch pipeline. On conflict it falls back to the normal bypass.
+	AggressiveBypass bool
+	// TwoStageRouter shortens the powered-on pipeline from the canonical
+	// 4 stages to 2 (look-ahead routing folds RC into VA; speculative SA
+	// folds ST into SA), the Section 6.8 baseline variant. Contention
+	// makes speculation fail naturally, adding cycles back. When set,
+	// EarlyWakeupCycles should usually be reduced to 1: a shorter
+	// pipeline hides fewer wakeup cycles.
+	TwoStageRouter bool
+	// DynamicClassify enables the Section 4.4 extension the paper leaves
+	// as future work: instead of a fixed planner-chosen
+	// performance-centric class, routers are re-ranked every
+	// ReclassifyPeriod cycles by observed demand, and the busiest 3N/8
+	// get the performance-centric thresholds.
+	DynamicClassify bool
+	// ReclassifyPeriod is the re-ranking interval in cycles for
+	// DynamicClassify (default 2048).
+	ReclassifyPeriod int
+}
+
+// DefaultParams returns the paper's Table 1 configuration for a given
+// design on a 4x4 mesh with one protocol class.
+func DefaultParams(d Design) Params {
+	return Params{
+		Width: 4, Height: 4,
+		Classes:           1,
+		VCsPerClass:       4,
+		BufferDepth:       5,
+		Design:            d,
+		WakeupLatency:     12,
+		EarlyWakeupCycles: 3,
+		GateIdleCycles:    2,
+		MisrouteCap:       2,
+		WakeupWindow:      10,
+		ThresholdPerf:     1,
+		ThresholdPower:    6,
+		InjectQueueDepth:  16,
+		StarvationLimit:   8,
+		MaxIdlePeriod:     4096,
+		ReclassifyPeriod:  2048,
+	}
+}
+
+// Validate checks parameter consistency.
+func (p *Params) Validate() error {
+	if p.Width < 2 || p.Height < 2 {
+		return fmt.Errorf("noc: mesh must be at least 2x2, got %dx%d", p.Width, p.Height)
+	}
+	if p.Classes < 1 {
+		return fmt.Errorf("noc: need at least one protocol class, got %d", p.Classes)
+	}
+	minVCs := 2
+	if p.Design == NoRD {
+		minVCs = 3 // 2 escape (ring dateline pair) + >=1 adaptive
+	}
+	if p.VCsPerClass < minVCs {
+		return fmt.Errorf("noc: design %v needs at least %d VCs per class, got %d", p.Design, minVCs, p.VCsPerClass)
+	}
+	if p.BufferDepth < 1 {
+		return fmt.Errorf("noc: buffer depth must be positive, got %d", p.BufferDepth)
+	}
+	if p.Design.PowerGated() && p.WakeupLatency < 1 {
+		return fmt.Errorf("noc: wakeup latency must be positive, got %d", p.WakeupLatency)
+	}
+	if p.EarlyWakeupCycles < 0 || p.GateIdleCycles < 0 || p.MisrouteCap < 0 {
+		return fmt.Errorf("noc: negative pipeline parameter")
+	}
+	if p.Design == NoRD {
+		if p.WakeupWindow < 1 {
+			return fmt.Errorf("noc: NoRD wakeup window must be positive, got %d", p.WakeupWindow)
+		}
+		if p.ThresholdPerf < 1 || p.ThresholdPower < 1 {
+			return fmt.Errorf("noc: NoRD wakeup thresholds must be positive")
+		}
+	}
+	if p.InjectQueueDepth < 1 {
+		return fmt.Errorf("noc: injection queue depth must be positive, got %d", p.InjectQueueDepth)
+	}
+	if p.MaxIdlePeriod < 1 {
+		return fmt.Errorf("noc: max idle period must be positive, got %d", p.MaxIdlePeriod)
+	}
+	for _, id := range p.PerfCentric {
+		if id < 0 || id >= p.Width*p.Height {
+			return fmt.Errorf("noc: performance-centric router %d out of range", id)
+		}
+	}
+	if p.DynamicClassify && p.ReclassifyPeriod < 1 {
+		return fmt.Errorf("noc: dynamic classification needs a positive reclassify period")
+	}
+	return nil
+}
+
+// vcsPerPort returns the total number of VCs at each router port.
+func (p *Params) vcsPerPort() int { return p.Classes * p.VCsPerClass }
+
+// escapeVCs returns the number of escape VCs per class for the design.
+func (p *Params) escapeVCs() int {
+	if p.Design == NoRD {
+		return 2
+	}
+	return 1
+}
+
+// vcBase returns the first VC index of class c.
+func (p *Params) vcBase(c int) int { return c * p.VCsPerClass }
+
+// NumNodes returns the node count.
+func (p *Params) NumNodes() int { return p.Width * p.Height }
+
+// numLinks returns the number of unidirectional inter-router channels.
+func (p *Params) numLinks() int {
+	return 2 * (p.Width*(p.Height-1) + p.Height*(p.Width-1))
+}

@@ -1,0 +1,25 @@
+package noc
+
+import (
+	"testing"
+
+	"nord/internal/traffic"
+)
+
+func benchNet(b *testing.B, d Design, w, h int, rate float64) {
+	p := DefaultParams(d)
+	p.Width, p.Height = w, h
+	n := MustNew(p)
+	inj := traffic.NewSynthetic(n, traffic.UniformRandom, rate, 1)
+	n.BeginMeasurement()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inj.Tick(n.Cycle())
+		n.Tick()
+	}
+}
+
+func BenchmarkTick16NoPG(b *testing.B) { benchNet(b, NoPG, 4, 4, 0.05) }
+func BenchmarkTick16NoRD(b *testing.B) { benchNet(b, NoRD, 4, 4, 0.05) }
+func BenchmarkTick64NoRD(b *testing.B) { benchNet(b, NoRD, 8, 8, 0.05) }
+func BenchmarkTick64NoPG(b *testing.B) { benchNet(b, NoPG, 8, 8, 0.05) }

@@ -1,0 +1,249 @@
+package noc
+
+import (
+	"nord/internal/flit"
+	"nord/internal/topology"
+)
+
+// This file implements the power-gating controllers: the small non-gated
+// monitor every gated design keeps per router (Section 3.1), the
+// handshaking of Section 4.3 (PG/WU/IC signals, credit adjustment of the
+// ring upstream, pipeline restarts at neighbors), and the per-design
+// wakeup conditions.
+
+// tickController advances the router's power state machine. It runs at
+// the end of every network cycle.
+func (r *Router) tickController() {
+	n := r.net
+	p := &n.p
+	if r.busy() {
+		r.emptyRun = 0
+	} else if r.emptyRun <= p.GateIdleCycles {
+		r.emptyRun++
+	}
+	if !p.Design.PowerGated() {
+		return
+	}
+	switch r.state {
+	case powerOn:
+		if r.canGateOff() {
+			r.gateOff()
+		}
+	case powerOff:
+		if r.wakeRequested() {
+			r.state = powerWaking
+			r.wakeCounter = p.WakeupLatency
+			r.statWakeups++
+			n.noteWakeup()
+		}
+	case powerWaking:
+		r.wakeCounter--
+		if r.wakeCounter <= 0 {
+			r.completeWake()
+		}
+	}
+}
+
+// wakeRequested evaluates the WU level for this router.
+func (r *Router) wakeRequested() bool {
+	n := r.net
+	p := &n.p
+	if p.ForcedOff {
+		return false
+	}
+	if p.Design == NoRD {
+		// The VC-request metric at the local NI (Section 4.3).
+		return n.nis[r.id].wakeupMetricHigh()
+	}
+	// Conventional designs: the local node needs the router for any
+	// injection (node-router dependence) ...
+	if n.nis[r.id].wantsRouterOn() {
+		return true
+	}
+	// ... and neighbors stalled in SA assert WU (after the assertion
+	// delay that models SA-time vs RC-time generation).
+	for d := topology.Dir(0); d < topology.Local; d++ {
+		nb, ok := n.mesh.Neighbor(r.id, d)
+		if !ok {
+			continue
+		}
+		nbr := n.routers[nb]
+		if nbr.phaseCnt[vcWaitWake] == 0 {
+			continue
+		}
+		for _, vc := range nbr.in {
+			for _, st := range vc {
+				if st.phase == vcWaitWake && st.target == r.id && n.cycle >= st.wuFrom {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// canGateOff checks the gate-off conditions: empty datapath for the IC
+// horizon, no incoming flits, WU clear, and (Conv_PG_OPT) no early wakeup
+// pending, which suppresses gating for idle periods shorter than the
+// early-wakeup horizon (Section 5.1).
+func (r *Router) canGateOff() bool {
+	n := r.net
+	p := &n.p
+	if r.busy() || r.emptyRun < p.GateIdleCycles {
+		return false
+	}
+	// The bypass datapath must have fully drained (latches, inject
+	// register, withheld credits) before another transition.
+	if p.Design == NoRD {
+		ni := n.nis[r.id]
+		if ni.injectOut != nil {
+			return false
+		}
+		for v := range ni.latch {
+			if ni.latch[v] != nil || ni.fwdOutVC[v] >= 0 || r.creditsHeld[v] > 0 {
+				return false
+			}
+		}
+		// Hysteresis on the wakeup metric: wake when the windowed demand
+		// reaches the (asymmetric) threshold, but gate off only after the
+		// demand window has stayed completely quiet for quietNeed cycles,
+		// so marginal demand does not thrash the router through state
+		// transitions. Performance-centric routers sleep late (3x the
+		// window), complementing their early wakeup (Section 4.4).
+		if ni.window.Sum() > ni.gateSlack || ni.quietRun < ni.quietNeed {
+			return false
+		}
+	}
+	if r.incomingSoon() {
+		return false
+	}
+	if r.wakeRequested() {
+		return false
+	}
+	if p.Design == ConvPGOpt && r.earlyWakeupIncoming() {
+		return false
+	}
+	return true
+}
+
+// earlyWakeupIncoming reports whether any neighbor has already computed a
+// route toward this router (the RC-time WU of Conv_PG_OPT): gating now
+// would create an idle period shorter than the wakeup pipeline can hide.
+func (r *Router) earlyWakeupIncoming() bool {
+	n := r.net
+	for d := topology.Dir(0); d < topology.Local; d++ {
+		nb, ok := n.mesh.Neighbor(r.id, d)
+		if !ok {
+			continue
+		}
+		nbr := n.routers[nb]
+		if nbr.phaseCnt[vcActive] == 0 {
+			continue
+		}
+		toMe := d.Opposite()
+		for _, vcs := range nbr.in {
+			for _, st := range vcs {
+				if st.phase == vcActive && st.route == toMe && !st.empty() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// gateOff performs the on->off transition: assert PG, clamp the ring
+// upstream's credits to the single bypass-latch slot (NoRD), restart
+// neighbor pipelines whose allocated routes became unusable, and enable
+// the NI bypass.
+func (r *Router) gateOff() {
+	n := r.net
+	p := &n.p
+	r.state = powerOff
+	n.noteGateOff()
+	for d := topology.Dir(0); d < topology.Local; d++ {
+		nb, ok := n.mesh.Neighbor(r.id, d)
+		if !ok {
+			continue
+		}
+		nbr := n.routers[nb]
+		toMe := d.Opposite() // nb's output port toward us
+		usable := p.Design == NoRD && n.ring.OutDir(nb) == toMe
+		if usable {
+			// The ring upstream keeps the port but with a single credit
+			// per VC: the one-flit bypass latch (Section 4.3).
+			for v := range nbr.outCredits[toMe] {
+				if nbr.outCredits[toMe][v] > 1 {
+					nbr.outCredits[toMe][v] = 1
+				}
+			}
+			continue
+		}
+		// Other neighbors tag the port unavailable and restart any head
+		// packet that had allocated it (flits in VA/SA restart from RC).
+		if nbr.phaseCnt[vcActive] == 0 {
+			continue
+		}
+		for _, vcs := range nbr.in {
+			for _, st := range vcs {
+				if st.phase == vcActive && st.route == toMe {
+					nbr.outOwner[toMe][st.outVC] = ownerFree
+					nbr.setPhase(st, vcRouting)
+					st.vaFails = 0
+				}
+			}
+		}
+	}
+	n.nis[r.id].onRouterOff()
+}
+
+// postWakeHold keeps a freshly woken router from gating off again before
+// the packet that requested the wakeup can reach it. In hardware the
+// requester sits stalled in the SA stage with its WU level asserted until
+// its flit traverses; this model restarts the requester from RC instead,
+// so the hold covers the RC->VA->SA->ST->LT pipeline refill.
+const postWakeHold = 10
+
+// completeWake finishes the off->on transition: deassert PG, top the ring
+// upstream's credits back up (deferring VCs still mid-bypass), and let
+// stalled neighbors resume (they poll in tickRC).
+func (r *Router) completeWake() {
+	n := r.net
+	p := &n.p
+	r.state = powerOn
+	r.emptyRun = -postWakeHold
+	if p.Design != NoRD {
+		return
+	}
+	ni := n.nis[r.id]
+	add := p.BufferDepth - 1
+	for v := range r.bypassRemaining {
+		if r.bypassRemaining[v] > 0 || ni.latch[v] != nil || ni.fwdOutVC[v] >= 0 {
+			// A packet is mid-bypass on this VC: hold the extra credits
+			// until it drains so the latch cannot overrun.
+			r.creditsHeld[v] = add
+			continue
+		}
+		n.addRingUpstreamCredits(r.id, v, add)
+	}
+}
+
+// onRouterOff lets the NI react to its router gating off: a local packet
+// whose injection had been set up through the Local port but has not sent
+// any flit yet is requeued so it can take the bypass (NoRD) or wait for
+// the wakeup (conventional designs re-assert WU through wantsRouterOn).
+func (ni *NI) onRouterOff() {
+	if ni.curMode != modeLocal {
+		return
+	}
+	if len(ni.curFlits) == 0 || ni.curFlits[0].Seq != 0 {
+		// Flits already entered the router: the router could not have
+		// been empty, so this cannot happen.
+		panic("noc: router gated off mid local injection")
+	}
+	pkt := ni.curFlits[0].Packet
+	c := int(pkt.Class)
+	ni.injQ[c] = append([]*flit.Packet{pkt}, ni.injQ[c]...)
+	ni.curFlits = nil
+	ni.curMode = modeNone
+}

@@ -1,0 +1,504 @@
+package noc
+
+import (
+	"fmt"
+
+	"nord/internal/flit"
+	"nord/internal/topology"
+)
+
+// powerState is a router's power-gating state.
+type powerState uint8
+
+const (
+	powerOn powerState = iota
+	powerOff
+	powerWaking
+)
+
+// String implements fmt.Stringer.
+func (s powerState) String() string {
+	switch s {
+	case powerOn:
+		return "on"
+	case powerOff:
+		return "off"
+	case powerWaking:
+		return "waking"
+	default:
+		return "?"
+	}
+}
+
+// vcPhase is the state machine of one input virtual channel.
+type vcPhase uint8
+
+const (
+	vcIdle     vcPhase = iota
+	vcRouting          // head at front, route computation pending
+	vcWaitVA           // route computed, awaiting an output VC
+	vcActive           // output VC held; flits move in SA
+	vcWaitWake         // conventional designs: stalled waking a gated-off router
+)
+
+// owner identifies the holder of an output VC: a (input port, input VC)
+// pair, or the NI bypass engine of a gated-off router.
+type owner struct {
+	port topology.Dir
+	vc   int16
+}
+
+const (
+	ownerFreePort   topology.Dir = 0xFE
+	ownerBypassPort topology.Dir = 0xFD
+)
+
+var ownerFree = owner{port: ownerFreePort}
+
+// vcState is one input virtual channel.
+type vcState struct {
+	buf     []*flit.Flit
+	phase   vcPhase
+	route   topology.Dir
+	outVC   int
+	escape  bool // the allocation uses escape resources
+	target  int  // router being awoken while in vcWaitWake
+	wuFrom  uint64
+	stallAt uint64 // cycle the wait began, for wakeup-stall stats
+	vaFails int    // consecutive failed VA attempts (forces escape/wake)
+}
+
+func (v *vcState) empty() bool { return len(v.buf) == 0 }
+
+func (v *vcState) head() *flit.Flit {
+	if len(v.buf) == 0 {
+		return nil
+	}
+	return v.buf[0]
+}
+
+func (v *vcState) push(f *flit.Flit) { v.buf = append(v.buf, f) }
+
+func (v *vcState) pop() *flit.Flit {
+	f := v.buf[0]
+	copy(v.buf, v.buf[1:])
+	v.buf = v.buf[:len(v.buf)-1]
+	return f
+}
+
+// Router is a canonical 4-stage wormhole VC router (Section 3.1): routing
+// computation (RC), VC allocation (VA), switch allocation (SA), switch
+// traversal (ST), with link traversal and buffer write (LT) overlapped on
+// the wire.
+type Router struct {
+	id  int
+	net *Network
+
+	// in[dir][vc] are the input units. The Local port receives flits
+	// injected by the NI.
+	in [topology.NumDirs][]*vcState
+
+	// outCredits[dir][vc] tracks the free downstream buffer slots for
+	// each output VC; outOwner[dir][vc] is the current holder.
+	outCredits [topology.NumDirs][]int
+	outOwner   [topology.NumDirs][]owner
+
+	// stReg[dir] holds the flit that won SA last cycle and traverses the
+	// crossbar to output dir this cycle.
+	stReg [topology.NumDirs]*flit.Flit
+
+	state       powerState
+	wakeCounter int
+	emptyRun    int
+
+	// bypassRemaining[vc] > 0 marks a packet mid-flight through this
+	// (gated-off or just-woken) router's NI bypass on ring VC vc: its
+	// remaining flits must keep using the bypass so wormhole order is
+	// preserved across a wakeup (Section 4.3).
+	bypassRemaining []int
+	// creditsHeld[vc] counts credits withheld from the ring upstream for
+	// VCs still mid-bypass at wakeup time, to be restored when they drain.
+	creditsHeld []int
+
+	// rr is the round-robin pointer used by SA and VA arbitration.
+	rr int
+
+	// Occupancy counters for fast-pathing idle routers: bufFlits counts
+	// flits resident in input buffers, stFlits flits in ST registers,
+	// and phaseCnt the number of input VCs in each non-idle phase.
+	bufFlits int
+	stFlits  int
+	phaseCnt [5]int
+
+	// saScratch is reused each cycle to gather SA candidates.
+	saScratch []saCand
+
+	// Per-router statistics for spatial reports (measured interval only).
+	statOffCycles   uint64
+	statWakeups     uint64
+	statSAGrants    uint64
+	statBypassFlits uint64
+
+	// saGrantsLastCycle feeds the NoRD wakeup window while the router is
+	// on: through-traffic is demand just as NI VC requests are while it
+	// is off, so a router being actively used does not immediately
+	// re-gate and thrash.
+	saGrantsLastCycle uint32
+	saGrantsThisCycle uint32
+}
+
+// saCand is one switch-allocation candidate: an active input VC with a
+// flit at its head.
+type saCand struct {
+	d  topology.Dir
+	v  int
+	vc *vcState
+}
+
+// freshHeadPhase is the phase a head flit enters when it reaches the
+// front of its VC: vcRouting for the canonical 4-stage pipeline (a full
+// RC cycle), or vcWaitVA directly when look-ahead routing folds RC away
+// (TwoStageRouter, Section 6.8).
+func (r *Router) freshHeadPhase() vcPhase {
+	if r.net.p.TwoStageRouter {
+		return vcWaitVA
+	}
+	return vcRouting
+}
+
+// setPhase moves an input VC to a new phase, maintaining the counters.
+func (r *Router) setPhase(vc *vcState, p vcPhase) {
+	if vc.phase != vcIdle {
+		r.phaseCnt[vc.phase]--
+	}
+	vc.phase = p
+	if p != vcIdle {
+		r.phaseCnt[p]++
+	}
+}
+
+func newRouter(id int, net *Network) *Router {
+	p := &net.p
+	V := p.vcsPerPort()
+	r := &Router{id: id, net: net, bypassRemaining: make([]int, V), creditsHeld: make([]int, V)}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		r.in[d] = make([]*vcState, V)
+		r.outCredits[d] = make([]int, V)
+		r.outOwner[d] = make([]owner, V)
+		for v := 0; v < V; v++ {
+			r.in[d][v] = &vcState{buf: make([]*flit.Flit, 0, p.BufferDepth)}
+			r.outOwner[d][v] = ownerFree
+			// Credits toward real neighbors are the downstream buffer
+			// depth; the Local output (ejection) is modelled as an
+			// always-available sink via the stReg only.
+			if d != topology.Local {
+				if _, ok := net.mesh.Neighbor(id, d); ok {
+					r.outCredits[d][v] = p.BufferDepth
+				}
+			}
+		}
+	}
+	if p.Design.PowerGated() && p.ForcedOff {
+		r.state = powerOff
+	}
+	return r
+}
+
+// on reports whether the router's normal pipeline is usable (PG signal
+// deasserted). A waking router still presents as gated-off to neighbors.
+func (r *Router) on() bool { return r.state == powerOn }
+
+// datapathEmpty reports whether the router holds no flits in buffers or
+// pipeline registers and no VC is mid-packet. VCs stalled in vcWaitWake
+// hold buffered head flits, so the flit counters cover them.
+func (r *Router) datapathEmpty() bool {
+	return r.bufFlits == 0 && r.stFlits == 0 &&
+		r.phaseCnt[vcRouting] == 0 && r.phaseCnt[vcWaitVA] == 0 && r.phaseCnt[vcActive] == 0
+}
+
+// busy reports datapath occupancy for idle-period statistics: any flit in
+// buffers, pipeline registers, or mid-bypass.
+func (r *Router) busy() bool {
+	if !r.datapathEmpty() {
+		return true
+	}
+	for _, n := range r.bypassRemaining {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// tickST moves last cycle's SA winners onto the output links (the ST
+// stage; the following LT cycle is modelled by the link's delivery delay).
+func (r *Router) tickST() {
+	if r.stFlits == 0 {
+		return
+	}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		f := r.stReg[d]
+		if f == nil {
+			continue
+		}
+		r.stReg[d] = nil
+		r.stFlits--
+		if d == topology.Local {
+			// Ejection: short local wire, arrives at the NI next cycle.
+			r.net.nis[r.id].deliverEject(f)
+			continue
+		}
+		r.net.sendLink(r.id, d, f)
+	}
+}
+
+// tickSA performs switch allocation: for each output, pick one eligible
+// active input VC (round-robin), pop its flit, charge a credit and place
+// the flit into the ST register.
+func (r *Router) tickSA() {
+	if !r.on() || r.bufFlits == 0 || r.phaseCnt[vcActive] == 0 {
+		return
+	}
+	// Gather the (few) active input VCs with a flit at their head once.
+	cands := r.saScratch[:0]
+	remaining := r.phaseCnt[vcActive]
+	for d := topology.Dir(0); d < topology.NumDirs && remaining > 0; d++ {
+		for v, vc := range r.in[d] {
+			if vc.phase != vcActive {
+				continue
+			}
+			remaining--
+			if !vc.empty() {
+				cands = append(cands, saCand{d: d, v: v, vc: vc})
+			}
+		}
+	}
+	r.saScratch = cands
+	if len(cands) == 0 {
+		return
+	}
+	var portRead [topology.NumDirs]bool
+	for outIdx := 0; outIdx < int(topology.NumDirs); outIdx++ {
+		out := topology.Dir((outIdx + r.rr) % int(topology.NumDirs))
+		if r.stReg[out] != nil {
+			continue
+		}
+		granted := false
+		for k := 0; k < len(cands) && !granted; k++ {
+			c := cands[(k+r.rr)%len(cands)]
+			d, v, vc := c.d, c.v, c.vc
+			if vc.route != out || vc.empty() || portRead[d] {
+				continue
+			}
+			if out != topology.Local && r.outCredits[out][vc.outVC] <= 0 {
+				continue
+			}
+			f := vc.pop()
+			r.bufFlits--
+			f.VC = vc.outVC
+			portRead[d] = true
+			granted = true
+			if out != topology.Local {
+				r.outCredits[out][vc.outVC]--
+			}
+			if r.net.p.TwoStageRouter {
+				// Speculative SA folds switch traversal into this cycle:
+				// the flit leaves immediately (best case; contention has
+				// already cost retries in VA/SA).
+				if out == topology.Local {
+					r.net.nis[r.id].deliverEject(f)
+				} else {
+					r.net.sendLink(r.id, out, f)
+				}
+			} else {
+				r.stReg[out] = f
+				r.stFlits++
+			}
+			r.saGrantsThisCycle++
+			if r.net.collecting {
+				r.statSAGrants++
+			}
+			r.net.noteSAGrant(d)
+			// Return a credit upstream for the freed buffer slot.
+			r.net.creditReturn(r.id, d, v)
+			if f.Kind.IsTail() {
+				if out != topology.Local {
+					r.outOwner[out][vc.outVC] = ownerFree
+				}
+				r.setPhase(vc, vcIdle)
+				// The next packet's head may already be queued behind
+				// the departed tail; it starts route computation now.
+				if h := vc.head(); h != nil {
+					if !h.Kind.IsHead() {
+						panic("noc: non-head flit follows a tail in a VC buffer")
+					}
+					r.setPhase(vc, r.freshHeadPhase())
+				}
+			}
+		}
+	}
+	r.rr++
+}
+
+// tickVA performs VC allocation for input VCs in vcWaitVA. Each cycle the
+// route is re-evaluated (adaptive routers use up-to-date availability) and
+// an output VC of the appropriate type is requested; on failure the VC
+// retries next cycle, possibly falling back to escape resources
+// (Duato's protocol).
+func (r *Router) tickVA() {
+	if !r.on() || r.phaseCnt[vcWaitVA] == 0 {
+		return
+	}
+	p := &r.net.p
+	V := p.vcsPerPort()
+	total := int(topology.NumDirs) * V
+	for k := 0; k < total; k++ {
+		idx := (k + r.rr) % total
+		d := topology.Dir(idx / V)
+		v := idx % V
+		vc := r.in[d][v]
+		if vc.phase != vcWaitVA {
+			continue
+		}
+		r.allocate(d, v, vc)
+	}
+}
+
+// allocate attempts VC allocation for the head packet of input VC (d, v).
+func (r *Router) allocate(d topology.Dir, v int, vc *vcState) {
+	h := vc.head()
+	if h == nil {
+		// Head was consumed unexpectedly; reset defensively.
+		r.setPhase(vc, vcIdle)
+		return
+	}
+	pkt := h.Packet
+	dec := r.net.route(r, d, pkt, vc.vaFails)
+	switch dec.action {
+	case actWake:
+		r.setPhase(vc, vcWaitWake)
+		vc.target = dec.wakeTarget
+		vc.stallAt = r.net.cycle
+		vc.wuFrom = r.net.cycle + uint64(dec.wuDelay)
+		vc.vaFails = 0
+		return
+	case actEject:
+		// Local ejection needs no VC allocation; the Local "output VC" 0
+		// is used for bookkeeping only.
+		r.setPhase(vc, vcActive)
+		vc.route = topology.Local
+		vc.outVC = 0
+		vc.vaFails = 0
+		r.net.noteVAGrant()
+		return
+	}
+	// Try the ordered candidates (adaptive first, escape fallback).
+	for _, c := range dec.cands {
+		if r.outOwner[c.dir][c.vc] != ownerFree || r.outCredits[c.dir][c.vc] <= 0 {
+			continue
+		}
+		r.outOwner[c.dir][c.vc] = owner{port: d, vc: int16(v)}
+		r.setPhase(vc, vcActive)
+		vc.route = c.dir
+		vc.outVC = c.vc
+		vc.escape = c.escape
+		vc.vaFails = 0
+		if c.escape && !pkt.Escaped {
+			pkt.Escaped = true
+			r.net.noteEscape()
+		}
+		if c.escape {
+			pkt.EscapeVC = c.escapeVCNext
+		}
+		if c.misroute {
+			pkt.Misroutes++
+			r.net.noteMisroute()
+		}
+		r.net.noteVAGrant()
+		return
+	}
+	// Allocation failed; retry (and recompute the route) next cycle.
+	vc.vaFails++
+}
+
+// tickRC runs route computation: input VCs in vcRouting move to vcWaitVA
+// (one cycle), and VCs stalled in vcWaitWake re-check whether their target
+// woke up.
+func (r *Router) tickRC() {
+	if !r.on() || (r.phaseCnt[vcRouting] == 0 && r.phaseCnt[vcWaitWake] == 0) {
+		return
+	}
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		for v, vc := range r.in[d] {
+			switch vc.phase {
+			case vcRouting:
+				if vc.head() == nil {
+					continue
+				}
+				r.setPhase(vc, vcWaitVA)
+				_ = v
+			case vcWaitWake:
+				// Resume once the target router woke (or an alternative
+				// appeared); the route is recomputed from scratch.
+				if r.net.routers[vc.target].on() || r.net.route(r, d, vc.head().Packet, 0).action != actWake {
+					r.net.noteWakeStall(r.net.cycle - vc.stallAt)
+					r.setPhase(vc, r.freshHeadPhase())
+				}
+			}
+		}
+	}
+}
+
+// acceptFlit writes a delivered flit into the input buffer (the BW half of
+// the LT stage).
+func (r *Router) acceptFlit(d topology.Dir, f *flit.Flit) {
+	vc := r.in[d][f.VC]
+	if len(vc.buf) >= r.net.p.BufferDepth {
+		panic(fmt.Sprintf("noc: buffer overflow at router %d port %v vc %d (credit protocol violated)", r.id, d, f.VC))
+	}
+	vc.push(f)
+	r.bufFlits++
+	r.net.noteBufWrite()
+	// A head flit starts route computation only once it is at the front
+	// of the buffer (an earlier packet's tail may still be draining; the
+	// upstream freed the output VC at its tail).
+	if f.Kind.IsHead() && len(vc.buf) == 1 {
+		if vc.phase != vcIdle {
+			panic(fmt.Sprintf("noc: head flit at front of busy VC at router %d port %v vc %d phase %d", r.id, d, f.VC, vc.phase))
+		}
+		r.setPhase(vc, r.freshHeadPhase())
+	}
+}
+
+// incomingSoon reports whether any flit is en route to this router: on an
+// incoming link, in a neighbor's ST register, or granted this cycle. This
+// is the IC (incoming) handshake of Section 4.3 that keeps a router from
+// gating off under a flit already in flight.
+func (r *Router) incomingSoon() bool {
+	for d := topology.Dir(0); d < topology.Local; d++ {
+		nb, ok := r.net.mesh.Neighbor(r.id, d)
+		if !ok {
+			continue
+		}
+		// Flits in flight on the link from nb toward us.
+		if r.net.linkBusy(nb, d.Opposite()) {
+			return true
+		}
+		// Flit in nb's ST register headed our way.
+		if r.net.routers[nb].stReg[d.Opposite()] != nil {
+			return true
+		}
+	}
+	// Flits in flight from the local NI.
+	if r.net.nis[r.id].injectInFlight() {
+		return true
+	}
+	// NoRD: the ring predecessor's NI may hold a flit for us in its
+	// re-injection register (bypass stage 3) that is not yet on the link.
+	if r.net.p.Design == NoRD {
+		if r.net.nis[r.net.ring.Pred(r.id)].injectOut != nil {
+			return true
+		}
+	}
+	return false
+}

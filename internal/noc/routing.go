@@ -1,0 +1,279 @@
+package noc
+
+import (
+	"nord/internal/flit"
+	"nord/internal/topology"
+)
+
+// routeAction classifies a routing decision.
+type routeAction uint8
+
+const (
+	// actPort: try the ordered output (dir, vc) candidates.
+	actPort routeAction = iota
+	// actEject: the packet is at its destination.
+	actEject
+	// actWake: conventional designs only — no usable output exists, a
+	// gated-off router must be awoken (the packet stalls, asserting WU).
+	actWake
+)
+
+// cand is one output (port, VC) candidate, with the bookkeeping that must
+// happen if it is granted.
+type cand struct {
+	dir          topology.Dir
+	vc           int
+	escape       bool
+	misroute     bool
+	escapeVCNext int
+}
+
+// decision is the result of route computation for a head packet.
+type decision struct {
+	action     routeAction
+	cands      []cand
+	wakeTarget int
+	wuDelay    int
+}
+
+// escapeForceAfter is the number of failed VA attempts after which a
+// conventional design escalates: if its escape path runs through a
+// gated-off router, that router is awoken. This guarantees forward
+// progress (the escape network must be reachable for Duato's protocol).
+const escapeForceAfter = 16
+
+// escapeAfterNoRD is the number of failed VA attempts after which a NoRD
+// packet adds the escape ring to its candidates. Entering the ring is a
+// committed long detour, so it is a last resort rather than an instant
+// fallback; blocked packets still reach it (Duato's protocol needs escape
+// reachability, not immediacy).
+const escapeAfterNoRD = 16
+
+// route computes the routing decision for pkt at router r, having arrived
+// on input port inDir (topology.Local for locally injected packets).
+// vaFails is the number of consecutive failed allocation attempts for
+// this head, used to escalate to wakeups in conventional designs.
+func (n *Network) route(r *Router, inDir topology.Dir, pkt *flit.Packet, vaFails int) decision {
+	if pkt.Dst == r.id {
+		return decision{action: actEject}
+	}
+	if n.p.Design == NoRD {
+		return n.routeNoRD(r, inDir, pkt, vaFails)
+	}
+	return n.routeConv(r, pkt, vaFails)
+}
+
+// routeConv routes for No_PG, Conv_PG and Conv_PG_OPT: minimal adaptive
+// routing on the adaptive VCs with XY routing on the escape VC (Duato's
+// protocol). Gated-off routers are unusable; if no usable output exists
+// the XY-preferred gated-off neighbor must be awoken. Conv_PG asserts WU
+// at SA-request time; Conv_PG_OPT generates it EarlyWakeupCycles earlier
+// (at RC time), hiding that much of the wakeup latency (Section 3.3).
+func (n *Network) routeConv(r *Router, pkt *flit.Packet, vaFails int) decision {
+	base := n.p.vcBase(int(pkt.Class))
+	adaptiveLo := base + n.p.escapeVCs()
+	adaptiveHi := base + n.p.VCsPerClass
+	xy := n.mesh.XYDir(r.id, pkt.Dst)
+	xyNb, _ := n.mesh.Neighbor(r.id, xy)
+
+	var dec decision
+	dec.cands = n.candScratch[:0]
+	defer func() { n.candScratch = dec.cands[:0] }()
+	if !pkt.Escaped {
+		// Adaptive candidates: minimal directions whose router is on,
+		// best-credit first.
+		dirs := n.mesh.MinimalDirs(r.id, pkt.Dst)
+		n.orderByCredit(r, dirs, adaptiveLo, adaptiveHi)
+		for _, d := range dirs {
+			nb, ok := n.mesh.Neighbor(r.id, d)
+			if !ok || !n.routers[nb].on() {
+				continue
+			}
+			for v := adaptiveLo; v < adaptiveHi; v++ {
+				dec.cands = append(dec.cands, cand{dir: d, vc: v})
+			}
+		}
+	}
+	// Escape fallback: the XY output's escape VC, usable only when that
+	// router is on.
+	if n.routers[xyNb].on() {
+		dec.cands = append(dec.cands, cand{dir: xy, vc: base, escape: true})
+	}
+	if len(dec.cands) == 0 {
+		// No usable output at all: stall and wake the XY-preferred
+		// neighbor (node-router dependence, Section 3).
+		return n.wakeDecision(xyNb)
+	}
+	if vaFails >= escapeForceAfter && !n.routers[xyNb].on() {
+		// Adaptive outputs exist but have starved; the escape network
+		// must become reachable for Duato's protocol to guarantee
+		// progress, so wake the escape router.
+		return n.wakeDecision(xyNb)
+	}
+	return dec
+}
+
+// wakeDecision builds the stall-and-wake decision for conventional
+// designs. Conv_PG's WU is generated at SA-request time, modelled as an
+// assertion delay of EarlyWakeupCycles relative to Conv_PG_OPT's RC-time
+// generation.
+func (n *Network) wakeDecision(target int) decision {
+	delay := 0
+	if n.p.Design == ConvPG {
+		delay = n.p.EarlyWakeupCycles
+	}
+	return decision{action: actWake, wakeTarget: target, wuDelay: delay}
+}
+
+// routeNoRD routes for NoRD (Section 4.2): packets on adaptive VCs use
+// minimal adaptive routing over powered-on routers and the bypass of
+// powered-off ones (reachable only through their Bypass Inport, i.e. via
+// this router's Bypass Outport); when no minimal output is usable they
+// must take the Bypass Outport, misrouted by one hop, until the misroute
+// cap forces them onto the escape ring. Escape packets follow the ring on
+// the dateline VC pair until the destination. No wakeups are ever needed.
+func (n *Network) routeNoRD(r *Router, inDir topology.Dir, pkt *flit.Packet, vaFails int) decision {
+	base := n.p.vcBase(int(pkt.Class))
+	adaptiveLo := base + n.p.escapeVCs()
+	adaptiveHi := base + n.p.VCsPerClass
+	ringOut := n.ring.OutDir(r.id)
+
+	escCand := cand{
+		dir:          ringOut,
+		vc:           base + n.ringEscapeVC(r.id, pkt),
+		escape:       true,
+		escapeVCNext: n.ringEscapeVCNext(r.id, pkt),
+	}
+	if pkt.Escaped {
+		cands := append(n.candScratch[:0], escCand)
+		n.candScratch = cands
+		return decision{action: actPort, cands: cands}
+	}
+
+	var dec decision
+	dec.cands = n.candScratch[:0]
+	dirs := n.mesh.MinimalDirs(r.id, pkt.Dst)
+	n.orderByCredit(r, dirs, adaptiveLo, adaptiveHi)
+	usable := 0
+	for _, d := range dirs {
+		if d == inDir {
+			continue // no U-turns
+		}
+		nb, ok := n.mesh.Neighbor(r.id, d)
+		if !ok {
+			continue
+		}
+		if !n.routers[nb].on() && d != ringOut {
+			continue // gated-off routers accept flits only on the ring
+		}
+		usable++
+		for v := adaptiveLo; v < adaptiveHi; v++ {
+			dec.cands = append(dec.cands, cand{dir: d, vc: v})
+		}
+	}
+	if usable == 0 {
+		// Forced detour through the Bypass Outport; still on adaptive
+		// resources if below the misroute cap.
+		misroute := true
+		for _, d := range dirs {
+			if d == ringOut {
+				misroute = false // the ring hop happens to be minimal
+			}
+		}
+		if pkt.Misroutes < n.p.MisrouteCap || !misroute {
+			for v := adaptiveLo; v < adaptiveHi; v++ {
+				dec.cands = append(dec.cands, cand{dir: ringOut, vc: v, misroute: misroute})
+			}
+		}
+	}
+	// Escape-ring fallback: the ring link is usable whether its
+	// downstream router is on or off, but it is offered only once the
+	// packet has starved on adaptive resources (or has no other option).
+	if len(dec.cands) == 0 || vaFails >= escapeAfterNoRD {
+		dec.cands = append(dec.cands, escCand)
+	}
+	n.candScratch = dec.cands
+	return dec
+}
+
+// bypassCands returns the ordered output-VC candidates for a packet being
+// forwarded (or locally injected) through a gated-off router's NI bypass.
+// The output port is forced to the Bypass Outport; the packet stays on
+// adaptive resources while below the misroute cap and always has the
+// escape-ring fallback (Section 4.2: "powered-off routers have no VCs but
+// still have the corresponding adaptive/escape latches").
+func (n *Network) bypassCands(r *Router, pkt *flit.Packet, fails int) []cand {
+	base := n.p.vcBase(int(pkt.Class))
+	adaptiveLo := base + n.p.escapeVCs()
+	adaptiveHi := base + n.p.VCsPerClass
+	ringOut := n.ring.OutDir(r.id)
+	escCand := cand{
+		dir:          ringOut,
+		vc:           base + n.ringEscapeVC(r.id, pkt),
+		escape:       true,
+		escapeVCNext: n.ringEscapeVCNext(r.id, pkt),
+	}
+	if pkt.Escaped {
+		cands := append(n.candScratch[:0], escCand)
+		n.candScratch = cands
+		return cands
+	}
+	misroute := true
+	for _, d := range n.mesh.MinimalDirs(r.id, pkt.Dst) {
+		if d == ringOut {
+			misroute = false
+		}
+	}
+	cands := n.candScratch[:0]
+	if pkt.Misroutes < n.p.MisrouteCap || !misroute {
+		for v := adaptiveLo; v < adaptiveHi; v++ {
+			cands = append(cands, cand{dir: ringOut, vc: v, misroute: misroute})
+		}
+	}
+	if len(cands) == 0 || fails >= escapeAfterNoRD {
+		cands = append(cands, escCand)
+	}
+	n.candScratch = cands
+	return cands
+}
+
+// ringEscapeVC returns the escape VC (within the class's escape pair) a
+// packet must use on the ring link out of router id: VC 0 before crossing
+// the dateline, VC 1 after.
+func (n *Network) ringEscapeVC(id int, pkt *flit.Packet) int {
+	if pkt.Escaped {
+		return pkt.EscapeVC
+	}
+	return 0
+}
+
+// ringEscapeVCNext returns the escape VC the packet will hold after
+// traversing the ring link out of router id (the dateline switch).
+func (n *Network) ringEscapeVCNext(id int, pkt *flit.Packet) int {
+	cur := n.ringEscapeVC(id, pkt)
+	if n.ring.CrossesDateline(id) {
+		return 1
+	}
+	return cur
+}
+
+// orderByCredit sorts candidate directions by descending free credits in
+// the adaptive VC range (a congestion-aware selection function); ties keep
+// the deterministic minimal-dirs order. Insertion sort: the slice has at
+// most two entries.
+func (n *Network) orderByCredit(r *Router, dirs []topology.Dir, lo, hi int) {
+	credit := func(d topology.Dir) int {
+		sum := 0
+		for v := lo; v < hi; v++ {
+			if r.outOwner[d][v] == ownerFree {
+				sum += r.outCredits[d][v]
+			}
+		}
+		return sum
+	}
+	for i := 1; i < len(dirs); i++ {
+		for j := i; j > 0 && credit(dirs[j]) > credit(dirs[j-1]); j-- {
+			dirs[j], dirs[j-1] = dirs[j-1], dirs[j]
+		}
+	}
+}

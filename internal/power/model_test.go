@@ -1,0 +1,259 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func model(t *testing.T, node int, v float64) *Model {
+	t.Helper()
+	m, err := New(Tech{NodeNM: node, Voltage: v, FreqGHz: 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Tech{NodeNM: 90, Voltage: 1.0, FreqGHz: 3}); err == nil {
+		t.Error("unsupported node should fail")
+	}
+	if _, err := New(Tech{NodeNM: 45, Voltage: 0, FreqGHz: 3}); err == nil {
+		t.Error("zero voltage should fail")
+	}
+	if _, err := New(Tech{NodeNM: 45, Voltage: 1.0, FreqGHz: 0}); err == nil {
+		t.Error("zero frequency should fail")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad tech should panic")
+		}
+	}()
+	MustNew(Tech{NodeNM: 1, Voltage: 1, FreqGHz: 1})
+}
+
+// Figure 1(a) anchors: the static share of total router power at
+// PARSEC-average load.
+func TestStaticShareMatchesFigure1a(t *testing.T) {
+	cases := []struct {
+		node int
+		v    float64
+		want float64
+	}{
+		{65, 1.2, 0.179},
+		{45, 1.1, 0.354},
+		{32, 1.0, 0.477},
+	}
+	for _, c := range cases {
+		m := model(t, c.node, c.v)
+		got := m.StaticShareAtReferenceLoad()
+		if math.Abs(got-c.want) > 0.005 {
+			t.Errorf("%dnm/%.1fV static share = %.3f, want %.3f", c.node, c.v, got, c.want)
+		}
+	}
+}
+
+// Static share increases monotonically as voltage decreases at a fixed
+// node and as the node shrinks at fixed voltage (the Figure 1a trend).
+func TestStaticShareTrend(t *testing.T) {
+	for _, node := range []int{65, 45, 32} {
+		prev := -1.0
+		for _, v := range []float64{1.2, 1.1, 1.0} {
+			share := model(t, node, v).StaticShareAtReferenceLoad()
+			if share <= prev {
+				t.Errorf("%dnm: share not increasing as voltage drops (%.3f after %.3f)", node, share, prev)
+			}
+			prev = share
+		}
+	}
+	for _, v := range []float64{1.2, 1.1, 1.0} {
+		prev := -1.0
+		for _, node := range []int{65, 45, 32} {
+			share := model(t, node, v).StaticShareAtReferenceLoad()
+			if share <= prev {
+				t.Errorf("%.1fV: share not increasing as node shrinks", v)
+			}
+			prev = share
+		}
+	}
+}
+
+// Figure 1(b): decomposition at 45nm/1.0V.
+func TestBreakdownMatchesFigure1b(t *testing.T) {
+	m := model(t, 45, 1.0)
+	got := m.BreakdownAtReferenceLoad()
+	want := map[string]float64{
+		"buffer_static": 0.21,
+		"va_static":     0.07,
+		"sa_static":     0.02,
+		"xbar_static":   0.05,
+		"clock_static":  0.04,
+		"dynamic":       0.62,
+	}
+	sum := 0.0
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("missing component %q", k)
+		}
+		if math.Abs(g-w) > 0.02 {
+			t.Errorf("%s = %.3f, want %.3f (±0.02)", k, g, w)
+		}
+		sum += g
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Errorf("breakdown sums to %v, want 1", sum)
+	}
+}
+
+func TestBreakevenTimeSemantics(t *testing.T) {
+	m := model(t, 45, 1.1)
+	// Being off for exactly BET cycles saves WakeupEnergy.
+	saved := m.BreakevenCycles * m.RouterStaticW() * m.CycleSeconds()
+	if math.Abs(saved-m.WakeupEnergy())/saved > 1e-12 {
+		t.Errorf("BET semantics broken: saved %v, overhead %v", saved, m.WakeupEnergy())
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	m := model(t, 45, 1.1)
+	c := Counts{
+		Cycles:          1000,
+		Routers:         16,
+		Links:           48,
+		RouterOnCycles:  16000, // all on the whole time
+		RouterOffCycles: 0,
+		BufWrites:       100,
+		BufReads:        100,
+		XbarTraversals:  100,
+		VAArbs:          20,
+		SAArbs:          100,
+		ClockedFlitHops: 100,
+		LinkTraversals:  100,
+	}
+	b := m.Energy(c)
+	wantStatic := 16000.0 * m.RouterStaticW() * m.CycleSeconds()
+	if math.Abs(b.RouterStatic-wantStatic)/wantStatic > 1e-12 {
+		t.Errorf("router static = %v, want %v", b.RouterStatic, wantStatic)
+	}
+	if b.PGOverhead != 0 {
+		t.Errorf("no wakeups but overhead %v", b.PGOverhead)
+	}
+	if b.Total() <= 0 {
+		t.Error("non-positive total energy")
+	}
+	// A fully-dynamic count set decomposes additively.
+	sum := b.RouterStatic + b.RouterDynamic + b.LinkStatic + b.LinkDynamic + b.PGOverhead
+	if math.Abs(sum-b.Total()) > 1e-18 {
+		t.Errorf("Total() mismatch: %v vs %v", b.Total(), sum)
+	}
+}
+
+func TestEnergyGatedResiduals(t *testing.T) {
+	m := model(t, 45, 1.1)
+	base := Counts{Cycles: 1000, Routers: 16, Links: 48, RouterOffCycles: 16000}
+	plain := m.Energy(base)
+	if plain.RouterStatic != 0 {
+		t.Errorf("no-controller design leaked %v while off", plain.RouterStatic)
+	}
+	withCtl := base
+	withCtl.HasPGController = true
+	e1 := m.Energy(withCtl)
+	if e1.RouterStatic <= 0 {
+		t.Error("controller residual missing")
+	}
+	withBoth := withCtl
+	withBoth.HasBypass = true
+	e2 := m.Energy(withBoth)
+	if e2.RouterStatic <= e1.RouterStatic {
+		t.Error("bypass residual missing")
+	}
+	// Residuals are small relative to full-on static.
+	fullOn := Counts{Cycles: 1000, Routers: 16, Links: 48, RouterOnCycles: 16000}
+	if e2.RouterStatic > 0.2*m.Energy(fullOn).RouterStatic {
+		t.Errorf("residual static %v too large vs full-on %v", e2.RouterStatic, m.Energy(fullOn).RouterStatic)
+	}
+}
+
+func TestWakeupOverheadCounted(t *testing.T) {
+	m := model(t, 45, 1.1)
+	c := Counts{Cycles: 100, Routers: 1, Links: 0, Wakeups: 7}
+	b := m.Energy(c)
+	want := 7 * m.WakeupEnergy()
+	if math.Abs(b.PGOverhead-want)/want > 1e-12 {
+		t.Errorf("overhead = %v, want %v", b.PGOverhead, want)
+	}
+}
+
+func TestAvgPowerW(t *testing.T) {
+	m := model(t, 45, 1.1)
+	c := Counts{Cycles: 1000, Routers: 16, Links: 48, RouterOnCycles: 16000}
+	b := m.Energy(c)
+	p := m.AvgPowerW(c, b)
+	if p <= 0 {
+		t.Error("non-positive power")
+	}
+	if m.AvgPowerW(Counts{}, b) != 0 {
+		t.Error("zero-cycle power should be 0")
+	}
+	// 16 routers always on: power must be at least 16x router static.
+	if p < 16*m.RouterStaticW() {
+		t.Errorf("power %v below router static floor %v", p, 16*m.RouterStaticW())
+	}
+}
+
+func TestBypassHopCheaperThanRouterHop(t *testing.T) {
+	m := model(t, 45, 1.1)
+	if m.EBypassHop() >= m.ERouterHop() {
+		t.Error("bypass hop should cost less than a full router hop")
+	}
+	split := m.EBufferWrite() + m.EBufferRead() + m.EXbar() + m.EVAArb() + m.ESAArb() + m.EClockDyn()
+	if math.Abs(split-m.ERouterHop())/m.ERouterHop() > 1e-12 {
+		t.Errorf("per-event split %v does not sum to bundle %v", split, m.ERouterHop())
+	}
+}
+
+func TestAreaOverheadMatchesSection68(t *testing.T) {
+	m := model(t, 45, 1.1)
+	got := m.AreaOverheadVsConvPGOpt()
+	if math.Abs(got-0.031) > 0.003 {
+		t.Errorf("NoRD area overhead = %.4f, want ~0.031", got)
+	}
+	// Ordering: NoPG < ConvPG < ConvPGOpt < NoRD.
+	prev := 0.0
+	for _, d := range []Design{DesignNoPG, DesignConvPG, DesignConvPGOpt, DesignNoRD} {
+		a := m.RouterArea(d).Total()
+		if a <= prev {
+			t.Errorf("area not increasing at %v: %v after %v", d, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestAreaScalesWithNode(t *testing.T) {
+	a65 := model(t, 65, 1.1).RouterArea(DesignNoPG).Total()
+	a45 := model(t, 45, 1.1).RouterArea(DesignNoPG).Total()
+	a32 := model(t, 32, 1.1).RouterArea(DesignNoPG).Total()
+	if !(a65 > a45 && a45 > a32) {
+		t.Errorf("area should shrink with node: %v, %v, %v", a65, a45, a32)
+	}
+	want := a45 * (65.0 / 45.0) * (65.0 / 45.0)
+	if math.Abs(a65-want)/want > 1e-12 {
+		t.Errorf("quadratic scaling broken: %v vs %v", a65, want)
+	}
+}
+
+func TestDesignString(t *testing.T) {
+	names := map[Design]string{
+		DesignNoPG: "No_PG", DesignConvPG: "Conv_PG",
+		DesignConvPGOpt: "Conv_PG_OPT", DesignNoRD: "NoRD", Design(9): "unknown",
+	}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("Design(%d).String() = %q, want %q", d, d.String(), want)
+		}
+	}
+}

@@ -1,0 +1,431 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nord/internal/memsys"
+	"nord/internal/noc"
+	"nord/internal/power"
+	"nord/internal/topology"
+)
+
+// FullDesigns is the paper's comparison set in presentation order.
+func FullDesigns() []noc.Design {
+	return []noc.Design{noc.NoPG, noc.ConvPG, noc.ConvPGOpt, noc.NoRD}
+}
+
+// SweepDesigns is the subset plotted in the load sweeps (Figures 14, 15).
+func SweepDesigns() []noc.Design {
+	return []noc.Design{noc.NoPG, noc.ConvPGOpt, noc.NoRD}
+}
+
+// Benchmarks returns the PARSEC-like workload names in the paper's order.
+func Benchmarks() []string {
+	names := make([]string, 0, 10)
+	for _, p := range memsys.Profiles() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// ---------------------------------------------------------------------
+// Figure 1: static power share and router power decomposition.
+
+// TechPoint is one bar of Figure 1(a).
+type TechPoint struct {
+	NodeNM      int
+	Voltage     float64
+	StaticShare float64
+}
+
+// Fig1aStaticShare computes the static-power share of total router power
+// for the paper's nine technology points (Figure 1a).
+func Fig1aStaticShare() ([]TechPoint, error) {
+	var out []TechPoint
+	for _, node := range []int{65, 45, 32} {
+		for _, v := range []float64{1.2, 1.1, 1.0} {
+			m, err := power.New(power.Tech{NodeNM: node, Voltage: v, FreqGHz: 3.0})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, TechPoint{NodeNM: node, Voltage: v, StaticShare: m.StaticShareAtReferenceLoad()})
+		}
+	}
+	return out, nil
+}
+
+// Fig1bBreakdown returns the router power decomposition at 45nm/1.0V
+// (Figure 1b) as ordered (component, fraction) pairs.
+func Fig1bBreakdown() ([]string, []float64, error) {
+	m, err := power.New(power.Tech{NodeNM: 45, Voltage: 1.0, FreqGHz: 3.0})
+	if err != nil {
+		return nil, nil, err
+	}
+	frac := m.BreakdownAtReferenceLoad()
+	keys := []string{"dynamic", "buffer_static", "va_static", "xbar_static", "clock_static", "sa_static"}
+	vals := make([]float64, len(keys))
+	for i, k := range keys {
+		vals[i] = frac[k]
+	}
+	return keys, vals, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 / Section 3.2: idle-period fragmentation.
+
+// IdleRow summarises one benchmark's router idleness under No_PG.
+type IdleRow struct {
+	Benchmark string
+	IdleFrac  float64 // fraction of router-cycles idle (30-70% band)
+	LEBETFrac float64 // fraction of idle periods <= BET (paper: >61% avg)
+	MeanIdle  float64 // mean idle-period length in cycles
+}
+
+// Fig3IdlePeriods measures idle-period fragmentation across the
+// PARSEC-like suite on the No_PG baseline.
+func Fig3IdlePeriods(scale float64, seed int64) ([]IdleRow, error) {
+	var rows []IdleRow
+	for _, b := range Benchmarks() {
+		r, err := RunWorkload(WorkloadConfig{Design: noc.NoPG, Benchmark: b, Scale: scale, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, IdleRow{
+			Benchmark: b,
+			IdleFrac:  r.IdleFraction,
+			LEBETFrac: r.IdleLEBET,
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: planner trade-off.
+
+// Fig6Tradeoff returns the Figure 6 curve for the paper's 4x4 mesh and
+// the selected performance-centric router set.
+func Fig6Tradeoff() ([]topology.TradeoffPoint, []int, error) {
+	mesh := topology.MustMesh(4, 4)
+	ring, err := topology.NewRing(mesh)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl := topology.NewPlanner(mesh, ring)
+	pts, err := pl.Tradeoff()
+	if err != nil {
+		return nil, nil, err
+	}
+	set, err := PerfCentricSet(4, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pts, set, nil
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: wakeup-threshold determination on the pure bypass ring.
+
+// Fig7Point is one measurement with every router forced asleep.
+type Fig7Point struct {
+	Rate        float64
+	AvgLatency  float64
+	Throughput  float64
+	VCReqWindow float64 // mean VC requests per 10-cycle window
+}
+
+// Fig7WakeupThreshold sweeps injection rate with all routers forced off
+// (traffic concentrated on the Bypass Ring) and records latency and the
+// windowed VC-request metric, reproducing the Section 6.1 methodology.
+func Fig7WakeupThreshold(rates []float64, measure int, seed int64) ([]Fig7Point, error) {
+	var out []Fig7Point
+	for _, rate := range rates {
+		r, err := RunSynthetic(SynthConfig{
+			Design: noc.NoRD, ForcedOff: true, Rate: rate,
+			Measure: measure, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig7Point{
+			Rate:        rate,
+			AvgLatency:  r.AvgPacketLatency,
+			Throughput:  r.Throughput,
+			VCReqWindow: r.VCReqWindow,
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figures 8-12: the PARSEC-like suite across the four designs.
+
+// SuiteResult holds one Result per (benchmark, design).
+type SuiteResult struct {
+	Benchmarks []string
+	Results    map[string]map[noc.Design]Result
+}
+
+// RunSuite executes the full PARSEC-like suite across all four designs.
+func RunSuite(scale float64, seed int64, progress func(string)) (*SuiteResult, error) {
+	sr := &SuiteResult{Benchmarks: Benchmarks(), Results: map[string]map[noc.Design]Result{}}
+	for _, b := range sr.Benchmarks {
+		sr.Results[b] = map[noc.Design]Result{}
+		for _, d := range FullDesigns() {
+			if progress != nil {
+				progress(fmt.Sprintf("%s / %s", b, d))
+			}
+			r, err := RunWorkload(WorkloadConfig{Design: d, Benchmark: b, Scale: scale, Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("sim: %s on %v: %w", b, d, err)
+			}
+			sr.Results[b][d] = r
+		}
+	}
+	return sr, nil
+}
+
+// Fig8StaticEnergy returns router static energy normalised to No_PG per
+// benchmark per design, plus the per-design average (Figure 8: the paper
+// reports Conv_PG ~48.8%, Conv_PG_OPT ~53.0%, NoRD ~37.1% of No_PG).
+func (sr *SuiteResult) Fig8StaticEnergy() (map[string]map[noc.Design]float64, map[noc.Design]float64) {
+	return sr.normalised(func(r Result) float64 { return r.StaticEnergy() }, noc.NoPG)
+}
+
+// Fig9aOverheadEnergy returns power-gating overhead energy normalised to
+// Conv_PG (Figure 9a: NoRD reduces it by ~80.7%).
+func (sr *SuiteResult) Fig9aOverheadEnergy() (map[string]map[noc.Design]float64, map[noc.Design]float64) {
+	return sr.normalised(func(r Result) float64 { return r.Energy.PGOverhead }, noc.ConvPG)
+}
+
+// Fig9bWakeups returns wakeup counts normalised to Conv_PG (Figure 9b:
+// NoRD cuts wakeups by ~81%).
+func (sr *SuiteResult) Fig9bWakeups() (map[string]map[noc.Design]float64, map[noc.Design]float64) {
+	return sr.normalised(func(r Result) float64 { return float64(r.Wakeups) }, noc.ConvPG)
+}
+
+// Fig10Breakdown returns the five Figure 10 energy bands per benchmark
+// per design, normalised to the No_PG total of the same benchmark.
+func (sr *SuiteResult) Fig10Breakdown() map[string]map[noc.Design]power.Breakdown {
+	out := map[string]map[noc.Design]power.Breakdown{}
+	for _, b := range sr.Benchmarks {
+		base := sr.Results[b][noc.NoPG].Energy.Total()
+		out[b] = map[noc.Design]power.Breakdown{}
+		for d, r := range sr.Results[b] {
+			e := r.Energy
+			if base > 0 {
+				e.RouterStatic /= base
+				e.RouterDynamic /= base
+				e.LinkStatic /= base
+				e.LinkDynamic /= base
+				e.PGOverhead /= base
+			}
+			out[b][d] = e
+		}
+	}
+	return out
+}
+
+// Fig11Latency returns average packet latency per benchmark per design
+// (Figure 11: Conv_PG +63.8%, OPT +41.5%, NoRD +15.2% over No_PG).
+func (sr *SuiteResult) Fig11Latency() map[string]map[noc.Design]float64 {
+	out := map[string]map[noc.Design]float64{}
+	for _, b := range sr.Benchmarks {
+		out[b] = map[noc.Design]float64{}
+		for d, r := range sr.Results[b] {
+			out[b][d] = r.AvgPacketLatency
+		}
+	}
+	return out
+}
+
+// LatencyIncreaseAvg returns the average latency increase of each design
+// over No_PG across the suite.
+func (sr *SuiteResult) LatencyIncreaseAvg() map[noc.Design]float64 {
+	sum := map[noc.Design]float64{}
+	for _, b := range sr.Benchmarks {
+		base := sr.Results[b][noc.NoPG].AvgPacketLatency
+		for d, r := range sr.Results[b] {
+			if base > 0 {
+				sum[d] += r.AvgPacketLatency/base - 1
+			}
+		}
+	}
+	for d := range sum {
+		sum[d] /= float64(len(sr.Benchmarks))
+	}
+	return sum
+}
+
+// Fig12ExecTime returns execution time normalised to No_PG (Figure 12:
+// Conv_PG +11.7%, OPT +8.1%, NoRD +3.9%).
+func (sr *SuiteResult) Fig12ExecTime() (map[string]map[noc.Design]float64, map[noc.Design]float64) {
+	return sr.normalised(func(r Result) float64 { return float64(r.ExecTime) }, noc.NoPG)
+}
+
+// normalised divides a metric by the reference design's value per
+// benchmark and returns per-benchmark maps plus per-design averages.
+func (sr *SuiteResult) normalised(metric func(Result) float64, ref noc.Design) (map[string]map[noc.Design]float64, map[noc.Design]float64) {
+	rows := map[string]map[noc.Design]float64{}
+	avg := map[noc.Design]float64{}
+	cnt := map[noc.Design]int{}
+	for _, b := range sr.Benchmarks {
+		base := metric(sr.Results[b][ref])
+		rows[b] = map[noc.Design]float64{}
+		for d, r := range sr.Results[b] {
+			v := 0.0
+			if base > 0 {
+				v = metric(r) / base
+			}
+			rows[b][d] = v
+			avg[d] += v
+			cnt[d]++
+		}
+	}
+	for d := range avg {
+		avg[d] /= float64(cnt[d])
+	}
+	return rows, avg
+}
+
+// ---------------------------------------------------------------------
+// Figure 13: impact of wakeup latency.
+
+// Fig13Point is average latency at one wakeup latency for one design.
+type Fig13Point struct {
+	Design        noc.Design
+	WakeupLatency int
+	AvgLatency    float64
+}
+
+// Fig13WakeupLatency sweeps the wakeup latency (paper: 9..18 cycles) at
+// the PARSEC-average load under uniform random traffic. NoRD's curve
+// stays flat; the conventional designs degrade (Figure 13).
+func Fig13WakeupLatency(lats []int, rate float64, measure int, seed int64) ([]Fig13Point, error) {
+	var out []Fig13Point
+	for _, d := range []noc.Design{noc.ConvPG, noc.ConvPGOpt, noc.NoRD} {
+		for _, wl := range lats {
+			r, err := RunSynthetic(SynthConfig{
+				Design: d, Rate: rate, WakeupLatency: wl,
+				Measure: measure, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig13Point{Design: d, WakeupLatency: wl, AvgLatency: r.AvgPacketLatency})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Figures 14 and 15: full load-range sweeps.
+
+// SweepPoint is one (design, rate) measurement of a load sweep.
+type SweepPoint struct {
+	Design     noc.Design
+	Rate       float64
+	AvgLatency float64
+	PowerW     float64
+	Throughput float64
+	Saturated  bool // latency beyond the saturation criterion
+}
+
+// satLatency is the latency at which a sweep point is labelled saturated.
+const satLatency = 300
+
+// LoadSweep measures latency and NoC power across the load range for the
+// sweep designs (Figures 14 and 15).
+func LoadSweep(w, h int, pattern string, rates []float64, measure int, seed int64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, d := range SweepDesigns() {
+		for _, rate := range rates {
+			r, err := RunSynthetic(SynthConfig{
+				Design: d, Width: w, Height: h, Pattern: pattern,
+				Rate: rate, Measure: measure, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepPoint{
+				Design:     d,
+				Rate:       rate,
+				AvgLatency: r.AvgPacketLatency,
+				PowerW:     r.AvgPowerW,
+				Throughput: r.Throughput,
+				Saturated:  r.AvgPacketLatency > satLatency,
+			})
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// Section 6.8: area.
+
+// AreaRow is one design's router area.
+type AreaRow struct {
+	Design  noc.Design
+	AreaMM2 float64
+	VsNoPG  float64
+	VsOpt   float64
+}
+
+// AreaTable computes the Section 6.8 area comparison at 45nm.
+func AreaTable() ([]AreaRow, error) {
+	m, err := power.New(power.DefaultTech())
+	if err != nil {
+		return nil, err
+	}
+	base := m.RouterArea(power.DesignNoPG).Total()
+	opt := m.RouterArea(power.DesignConvPGOpt).Total()
+	var rows []AreaRow
+	for i, d := range []power.Design{power.DesignNoPG, power.DesignConvPG, power.DesignConvPGOpt, power.DesignNoRD} {
+		a := m.RouterArea(d).Total()
+		rows = append(rows, AreaRow{
+			Design:  FullDesigns()[i],
+			AreaMM2: a,
+			VsNoPG:  a/base - 1,
+			VsOpt:   a/opt - 1,
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------
+// Formatting helpers shared by the CLI tools.
+
+// FormatMatrix renders per-benchmark × per-design values as a text table.
+func FormatMatrix(title string, rows map[string]map[noc.Design]float64, order []string, avg map[noc.Design]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-14s", "benchmark")
+	for _, d := range FullDesigns() {
+		fmt.Fprintf(&b, "%14s", d)
+	}
+	b.WriteString("\n")
+	names := order
+	if names == nil {
+		names = make([]string, 0, len(rows))
+		for k := range rows {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		fmt.Fprintf(&b, "%-14s", name)
+		for _, d := range FullDesigns() {
+			fmt.Fprintf(&b, "%14.3f", rows[name][d])
+		}
+		b.WriteString("\n")
+	}
+	if avg != nil {
+		fmt.Fprintf(&b, "%-14s", "AVG")
+		for _, d := range FullDesigns() {
+			fmt.Fprintf(&b, "%14.3f", avg[d])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatResult renders one run's measurements as a human-readable report.
+func FormatResult(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "design           %v\n", r.Design)
+	if r.Label != "" {
+		fmt.Fprintf(&b, "workload         %s\n", r.Label)
+	}
+	fmt.Fprintf(&b, "nodes            %d\n", r.Nodes)
+	fmt.Fprintf(&b, "measured cycles  %d\n", r.Cycles)
+	if r.ExecTime > 0 {
+		fmt.Fprintf(&b, "execution time   %d cycles\n", r.ExecTime)
+	}
+	fmt.Fprintf(&b, "packets          %d delivered\n", r.PacketsDelivered)
+	fmt.Fprintf(&b, "avg latency      %.2f cycles (network %.2f; p50/p95/p99 %d/%d/%d)\n",
+		r.AvgPacketLatency, r.AvgNetworkLatency, r.LatencyP50, r.LatencyP95, r.LatencyP99)
+	fmt.Fprintf(&b, "avg hops         %.2f\n", r.AvgHops)
+	fmt.Fprintf(&b, "throughput       %.4f flits/node/cycle\n", r.Throughput)
+	fmt.Fprintf(&b, "router idle      %.1f%% of cycles (%.1f%% of idle periods <= BET)\n",
+		100*r.IdleFraction, 100*r.IdleLEBET)
+	if r.Design.PowerGated() {
+		fmt.Fprintf(&b, "gated off        %.1f%% of router-cycles\n", 100*r.OffFraction)
+		fmt.Fprintf(&b, "wakeups          %d (gate-offs %d)\n", r.Wakeups, r.GateOffs)
+	}
+	if r.Misroutes > 0 || r.Escapes > 0 {
+		fmt.Fprintf(&b, "misrouted hops   %d (escape-ring packets %d)\n", r.Misroutes, r.Escapes)
+	}
+	if r.L1HitRate > 0 {
+		fmt.Fprintf(&b, "L1 hit rate      %.1f%%\n", 100*r.L1HitRate)
+	}
+	e := r.Energy
+	fmt.Fprintf(&b, "NoC energy       %.3e J (avg %.2f W)\n", e.Total(), r.AvgPowerW)
+	fmt.Fprintf(&b, "  router static  %.3e J\n", e.RouterStatic)
+	fmt.Fprintf(&b, "  router dynamic %.3e J\n", e.RouterDynamic)
+	fmt.Fprintf(&b, "  link static    %.3e J\n", e.LinkStatic)
+	fmt.Fprintf(&b, "  link dynamic   %.3e J\n", e.LinkDynamic)
+	fmt.Fprintf(&b, "  PG overhead    %.3e J\n", e.PGOverhead)
+	return b.String()
+}
+
+// FormatPerRouter renders the spatial per-router statistics as a table
+// ordered by mesh position; performance-centric routers are starred.
+func FormatPerRouter(r Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-5s %8s %8s %8s %10s %10s\n",
+		"id", "(x,y)", "idle%", "off%", "wakeups", "flits", "bypassed")
+	for _, rr := range r.Routers {
+		star := " "
+		if rr.PerfCentric {
+			star = "*"
+		}
+		fmt.Fprintf(&b, "%-3d%s (%d,%d) %7.1f%% %7.1f%% %8d %10d %10d\n",
+			rr.ID, star, rr.X, rr.Y, 100*rr.IdleFraction, 100*rr.OffFraction,
+			rr.Wakeups, rr.FlitsRouted, rr.BypassFlits)
+	}
+	return b.String()
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"testing"
+
+	"nord/internal/noc"
+)
+
+// TestDeterminism pins the simulator's reproducibility: identical
+// configurations and seeds produce bit-identical results, for synthetic
+// and full-system runs alike. (Any map-iteration or scheduling
+// nondeterminism that creeps in breaks this loudly.)
+func TestDeterminism(t *testing.T) {
+	synth := SynthConfig{Design: noc.NoRD, Rate: 0.07, Warmup: 2000, Measure: 10_000, Seed: 1234}
+	a, err := RunSynthetic(synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSynthetic(synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgPacketLatency != b.AvgPacketLatency || a.Wakeups != b.Wakeups ||
+		a.Energy != b.Energy || a.PacketsDelivered != b.PacketsDelivered {
+		t.Errorf("synthetic runs diverged:\n%+v\n%+v", a, b)
+	}
+
+	wl := WorkloadConfig{Design: noc.ConvPGOpt, Benchmark: "bodytrack", Scale: 0.03, Seed: 99}
+	c, err := RunWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RunWorkload(wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ExecTime != d.ExecTime || c.Wakeups != d.Wakeups || c.Energy != d.Energy {
+		t.Errorf("workload runs diverged: exec %d vs %d, wakeups %d vs %d",
+			c.ExecTime, d.ExecTime, c.Wakeups, d.Wakeups)
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nord/internal/noc"
+)
+
+// ParallelLoadSweep is LoadSweep with the (design, rate) points executed
+// concurrently across CPU cores. Each simulation is single-threaded and
+// fully independent, so the sweep parallelises embarrassingly; results
+// are returned in the same deterministic order as LoadSweep.
+func ParallelLoadSweep(w, h int, pattern string, rates []float64, measure int, seed int64) ([]SweepPoint, error) {
+	type job struct {
+		idx    int
+		design noc.Design
+		rate   float64
+	}
+	var jobs []job
+	for _, d := range SweepDesigns() {
+		for _, r := range rates {
+			jobs = append(jobs, job{idx: len(jobs), design: d, rate: r})
+		}
+	}
+	out := make([]SweepPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			r, err := RunSynthetic(SynthConfig{
+				Design: j.design, Width: w, Height: h, Pattern: pattern,
+				Rate: j.rate, Measure: measure, Seed: seed,
+			})
+			if err != nil {
+				errs[j.idx] = err
+				return
+			}
+			out[j.idx] = SweepPoint{
+				Design:     j.design,
+				Rate:       j.rate,
+				AvgLatency: r.AvgPacketLatency,
+				PowerW:     r.AvgPowerW,
+				Throughput: r.Throughput,
+				Saturated:  r.AvgPacketLatency > satLatency,
+			}
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ParallelSuite is RunSuite with the (benchmark, design) cells executed
+// concurrently.
+func ParallelSuite(scale float64, seed int64, progress func(string)) (*SuiteResult, error) {
+	sr := &SuiteResult{Benchmarks: Benchmarks(), Results: map[string]map[noc.Design]Result{}}
+	type cell struct {
+		bench  string
+		design noc.Design
+	}
+	var cells []cell
+	for _, b := range sr.Benchmarks {
+		sr.Results[b] = map[noc.Design]Result{}
+		for _, d := range FullDesigns() {
+			cells = append(cells, cell{bench: b, design: d})
+		}
+	}
+	results := make([]Result, len(cells))
+	errs := make([]error, len(cells))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	for i, c := range cells {
+		wg.Add(1)
+		go func(i int, c cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if progress != nil {
+				progress(fmt.Sprintf("%s / %s", c.bench, c.design))
+			}
+			r, err := RunWorkload(WorkloadConfig{Design: c.design, Benchmark: c.bench, Scale: scale, Seed: seed})
+			if err != nil {
+				errs[i] = fmt.Errorf("sim: %s on %v: %w", c.bench, c.design, err)
+				return
+			}
+			results[i] = r
+		}(i, c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, c := range cells {
+		sr.Results[c.bench][c.design] = results[i]
+	}
+	return sr, nil
+}

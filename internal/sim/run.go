@@ -1,0 +1,454 @@
+// Package sim is the experiment harness: it configures and runs single
+// simulations (synthetic or full-system PARSEC-like workloads), converts
+// the raw collectors into per-run Results, and provides one driver per
+// table and figure of the paper's evaluation (Figures 1, 3, 6-15 and the
+// Section 6.8 area comparison).
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"nord/internal/flit"
+	"nord/internal/memsys"
+	"nord/internal/noc"
+	"nord/internal/power"
+	"nord/internal/topology"
+	"nord/internal/trace"
+	"nord/internal/traffic"
+)
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Design noc.Design
+	Label  string // workload or sweep-point label
+	Nodes  int
+	Cycles uint64
+
+	AvgPacketLatency  float64
+	LatencyP50        uint64
+	LatencyP95        uint64
+	LatencyP99        uint64
+	AvgNetworkLatency float64
+	AvgHops           float64
+	Throughput        float64 // delivered flits/node/cycle
+	PacketsDelivered  uint64
+
+	IdleFraction float64
+	IdleLEBET    float64 // fraction of idle periods <= breakeven time
+	OffFraction  float64
+	Wakeups      uint64
+	GateOffs     uint64
+	Misroutes    uint64
+	Escapes      uint64
+	VCReqWindow  float64 // mean VC requests per wakeup window per node
+
+	Energy    power.Breakdown
+	AvgPowerW float64
+
+	// Full-system runs only.
+	ExecTime  uint64
+	L1HitRate float64
+
+	// Routers holds per-router spatial statistics (utilisation, gating,
+	// bypass usage per mesh position).
+	Routers []noc.RouterReport
+}
+
+// StaticEnergy returns the router static energy (the Figure 8 metric).
+func (r Result) StaticEnergy() float64 { return r.Energy.RouterStatic }
+
+// SynthConfig configures a synthetic-traffic run.
+type SynthConfig struct {
+	Design        noc.Design
+	Width, Height int
+	Pattern       string  // uniform, bitcomp, transpose, tornado
+	Rate          float64 // flits/node/cycle
+	Warmup        int     // cycles before measurement (paper: 10,000)
+	Measure       int     // measured cycles (paper: 100,000)
+	Seed          int64
+	WakeupLatency int  // 0 selects the paper's 12 cycles
+	ForcedOff     bool // Figure 7 mode
+	Tech          power.Tech
+	// NoPerfCentric disables the asymmetric-threshold planner (ablation).
+	NoPerfCentric bool
+	// ThresholdPerf/ThresholdPower override the wakeup thresholds when
+	// positive (ablation; defaults 1 and 3).
+	ThresholdPerf, ThresholdPower int
+	// MisrouteCap overrides the NoRD misroute cap when non-negative.
+	MisrouteCap int
+	// TwoStageRouter shortens the router pipeline to 2 stages
+	// (Section 6.8's look-ahead + speculative-SA baseline).
+	TwoStageRouter bool
+	// AggressiveBypass enables NoRD's 1-cycle combinational bypass
+	// (Section 6.8).
+	AggressiveBypass bool
+	// DynamicClassify replaces the fixed planner class with demand-ranked
+	// reclassification (the Section 4.4 future-work extension).
+	DynamicClassify bool
+}
+
+func (c *SynthConfig) fill() {
+	if c.Width == 0 {
+		c.Width = 4
+	}
+	if c.Height == 0 {
+		c.Height = 4
+	}
+	if c.Pattern == "" {
+		c.Pattern = "uniform"
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10_000
+	}
+	if c.Measure == 0 {
+		c.Measure = 100_000
+	}
+	if c.Tech == (power.Tech{}) {
+		c.Tech = power.DefaultTech()
+	}
+	if c.MisrouteCap == 0 {
+		c.MisrouteCap = -1
+	}
+}
+
+// perfCache memoises performance-centric router sets per mesh size.
+var perfCache sync.Map // [2]int -> []int
+
+// PerfCentricSet returns the performance-centric routers for a WxH mesh:
+// the exhaustively optimal 6-router set for the paper's 4x4 example,
+// and a greedy 3N/8-router set for larger meshes (Section 4.4).
+func PerfCentricSet(w, h int) ([]int, error) {
+	key := [2]int{w, h}
+	if v, ok := perfCache.Load(key); ok {
+		return v.([]int), nil
+	}
+	mesh, err := topology.NewMesh(w, h)
+	if err != nil {
+		return nil, err
+	}
+	ring, err := topology.NewRing(mesh)
+	if err != nil {
+		return nil, err
+	}
+	pl := topology.NewPlanner(mesh, ring)
+	var set []int
+	if mesh.N() <= 16 {
+		set, err = pl.PerformanceCentric(6 * mesh.N() / 16)
+	} else {
+		set, err = pl.GreedySet(3 * mesh.N() / 8)
+	}
+	if err != nil {
+		return nil, err
+	}
+	perfCache.Store(key, set)
+	return set, nil
+}
+
+// buildParams assembles noc parameters from a synthetic config.
+func (c *SynthConfig) buildParams(classes int) (noc.Params, error) {
+	p := noc.DefaultParams(c.Design)
+	p.Width, p.Height = c.Width, c.Height
+	p.Classes = classes
+	if c.WakeupLatency > 0 {
+		p.WakeupLatency = c.WakeupLatency
+	}
+	p.ForcedOff = c.ForcedOff
+	if c.ThresholdPerf > 0 {
+		p.ThresholdPerf = c.ThresholdPerf
+	}
+	if c.ThresholdPower > 0 {
+		p.ThresholdPower = c.ThresholdPower
+	}
+	if c.MisrouteCap >= 0 {
+		p.MisrouteCap = c.MisrouteCap
+	}
+	p.TwoStageRouter = c.TwoStageRouter
+	p.AggressiveBypass = c.AggressiveBypass
+	p.DynamicClassify = c.DynamicClassify
+	if c.TwoStageRouter && p.EarlyWakeupCycles > 1 {
+		// A shorter pipeline hides fewer wakeup cycles (Section 6.8).
+		p.EarlyWakeupCycles = 1
+	}
+	if c.Design == noc.NoRD && !c.NoPerfCentric && !c.ForcedOff {
+		set, err := PerfCentricSet(c.Width, c.Height)
+		if err != nil {
+			return p, err
+		}
+		p.PerfCentric = set
+	}
+	return p, nil
+}
+
+// RunSynthetic executes one synthetic-traffic simulation.
+func RunSynthetic(c SynthConfig) (Result, error) {
+	c.fill()
+	params, err := c.buildParams(1)
+	if err != nil {
+		return Result{}, err
+	}
+	net, err := noc.New(params)
+	if err != nil {
+		return Result{}, err
+	}
+	pattern, err := traffic.PatternByName(c.Pattern)
+	if err != nil {
+		return Result{}, err
+	}
+	inj := traffic.NewSynthetic(net, pattern, c.Rate, c.Seed)
+	for i := 0; i < c.Warmup; i++ {
+		inj.Tick(net.Cycle())
+		net.Tick()
+	}
+	net.BeginMeasurement()
+	for i := 0; i < c.Measure; i++ {
+		inj.Tick(net.Cycle())
+		net.Tick()
+	}
+	net.FinishMeasurement()
+	model, err := power.New(c.Tech)
+	if err != nil {
+		return Result{}, err
+	}
+	res := collect(net, model)
+	res.Label = fmt.Sprintf("%s@%.3f", c.Pattern, c.Rate)
+	return res, nil
+}
+
+// WorkloadConfig configures a full-system PARSEC-like run.
+type WorkloadConfig struct {
+	Design    noc.Design
+	Benchmark string
+	// Scale multiplies the per-core instruction quota (1.0 = the
+	// default 60k instructions; tests and benches use smaller values).
+	Scale         float64
+	Warmup        int // warmup cycles before measurement
+	Seed          int64
+	WakeupLatency int
+	MaxCycles     uint64
+	Tech          power.Tech
+	NoPerfCentric bool
+}
+
+func (c *WorkloadConfig) fill() {
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 5_000
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 200_000_000
+	}
+	if c.Tech == (power.Tech{}) {
+		c.Tech = power.DefaultTech()
+	}
+}
+
+// RunWorkload executes one PARSEC-like full-system simulation to
+// completion and returns its Result (including execution time).
+func RunWorkload(c WorkloadConfig) (Result, error) {
+	c.fill()
+	prof, err := memsys.ProfileByName(c.Benchmark)
+	if err != nil {
+		return Result{}, err
+	}
+	prof.InstrPerCore = uint64(float64(prof.InstrPerCore) * c.Scale)
+	if prof.InstrPerCore == 0 {
+		prof.InstrPerCore = 1
+	}
+	sc := SynthConfig{
+		Design:        c.Design,
+		WakeupLatency: c.WakeupLatency,
+		NoPerfCentric: c.NoPerfCentric,
+		Tech:          c.Tech,
+	}
+	sc.fill()
+	params, err := sc.buildParams(flit.NumClasses)
+	if err != nil {
+		return Result{}, err
+	}
+	net, err := noc.New(params)
+	if err != nil {
+		return Result{}, err
+	}
+	sys, err := memsys.NewSystem(net, prof, c.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	sys.RunWarmup(uint64(c.Warmup))
+	net.BeginMeasurement()
+	exec, err := sys.Run(c.MaxCycles)
+	if err != nil {
+		return Result{}, err
+	}
+	net.FinishMeasurement()
+	model, err := power.New(c.Tech)
+	if err != nil {
+		return Result{}, err
+	}
+	res := collect(net, model)
+	res.Label = c.Benchmark
+	res.ExecTime = exec
+	res.L1HitRate = sys.L1HitRate()
+	return res, nil
+}
+
+// TraceConfig configures a trace-replay run: the recorded injections of
+// some workload are replayed open-loop onto a (possibly different)
+// design — the standard trace-driven methodology for comparing designs
+// on identical traffic.
+type TraceConfig struct {
+	Design        noc.Design
+	Path          string // trace file (.gz supported)
+	Warmup        int    // cycles of the trace treated as warmup
+	Seed          int64
+	WakeupLatency int
+	Tech          power.Tech
+	NoPerfCentric bool
+	MaxCycles     uint64
+}
+
+// RunTrace replays a recorded trace to completion and returns the run's
+// measurements.
+func RunTrace(c TraceConfig) (Result, error) {
+	tr, err := trace.Load(c.Path)
+	if err != nil {
+		return Result{}, err
+	}
+	return ReplayTrace(c, tr)
+}
+
+// ReplayTrace is RunTrace with an already-loaded trace.
+func ReplayTrace(c TraceConfig, tr *trace.Trace) (Result, error) {
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 100_000_000
+	}
+	if c.Tech == (power.Tech{}) {
+		c.Tech = power.DefaultTech()
+	}
+	sc := SynthConfig{
+		Design:        c.Design,
+		WakeupLatency: c.WakeupLatency,
+		NoPerfCentric: c.NoPerfCentric,
+		Tech:          c.Tech,
+	}
+	// Mesh dimensions must cover the trace's nodes: assume square.
+	side := 2
+	for side*side < tr.Nodes {
+		side++
+	}
+	if side*side != tr.Nodes {
+		return Result{}, fmt.Errorf("sim: trace has %d nodes; only square meshes are supported", tr.Nodes)
+	}
+	sc.Width, sc.Height = side, side
+	sc.fill()
+	params, err := sc.buildParams(flit.NumClasses)
+	if err != nil {
+		return Result{}, err
+	}
+	net, err := noc.New(params)
+	if err != nil {
+		return Result{}, err
+	}
+	rep := trace.NewReplayer(net, tr)
+	warm := uint64(c.Warmup)
+	for net.Cycle() < warm {
+		rep.Tick(net.Cycle())
+		net.Tick()
+	}
+	net.BeginMeasurement()
+	for (!rep.Done() || net.InFlight() > 0) && net.Cycle() < c.MaxCycles {
+		rep.Tick(net.Cycle())
+		net.Tick()
+	}
+	if !rep.Done() {
+		return Result{}, fmt.Errorf("sim: trace replay did not finish within %d cycles", c.MaxCycles)
+	}
+	net.FinishMeasurement()
+	model, err := power.New(c.Tech)
+	if err != nil {
+		return Result{}, err
+	}
+	res := collect(net, model)
+	res.Label = "trace:" + c.Path
+	return res, nil
+}
+
+// RecordWorkloadTrace runs a full-system workload once and returns the
+// trace of every packet it injected, for later replay.
+func RecordWorkloadTrace(c WorkloadConfig) (*trace.Trace, Result, error) {
+	c.fill()
+	prof, err := memsys.ProfileByName(c.Benchmark)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	prof.InstrPerCore = uint64(float64(prof.InstrPerCore) * c.Scale)
+	if prof.InstrPerCore == 0 {
+		prof.InstrPerCore = 1
+	}
+	sc := SynthConfig{Design: c.Design, WakeupLatency: c.WakeupLatency, NoPerfCentric: c.NoPerfCentric, Tech: c.Tech}
+	sc.fill()
+	params, err := sc.buildParams(flit.NumClasses)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	net, err := noc.New(params)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	rec := trace.NewRecorder(params.NumNodes())
+	net.SetInjectHook(rec.Hook)
+	sys, err := memsys.NewSystem(net, prof, c.Seed)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	net.BeginMeasurement()
+	exec, err := sys.Run(c.MaxCycles)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	net.FinishMeasurement()
+	model, err := power.New(c.Tech)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	res := collect(net, model)
+	res.Label = c.Benchmark
+	res.ExecTime = exec
+	res.L1HitRate = sys.L1HitRate()
+	return rec.Trace(), res, nil
+}
+
+// collect converts a finished network's statistics into a Result.
+func collect(net *noc.Network, model *power.Model) Result {
+	col := net.Collector()
+	p := net.Params()
+	nodes := p.NumNodes()
+	counts := col.PowerCounts(nodes, net.NumLinks(), net.HasPGController(), net.HasBypass())
+	energy := model.Energy(counts)
+	return Result{
+		Design:            p.Design,
+		Nodes:             nodes,
+		Cycles:            col.Cycles,
+		AvgPacketLatency:  col.AvgPacketLatency(),
+		LatencyP50:        col.LatencyPercentile(0.50),
+		LatencyP95:        col.LatencyPercentile(0.95),
+		LatencyP99:        col.LatencyPercentile(0.99),
+		AvgNetworkLatency: col.NetworkLatency.Mean(),
+		AvgHops:           col.Hops.Mean(),
+		Throughput:        col.Throughput(nodes),
+		PacketsDelivered:  col.PacketsDelivered,
+		IdleFraction:      col.IdleFraction(),
+		IdleLEBET:         col.IdlePeriods.FracLE(uint64(model.BreakevenCycles)),
+		OffFraction:       col.OffFraction(),
+		Wakeups:           col.Wakeups,
+		GateOffs:          col.GateOffs,
+		Misroutes:         col.MisroutedHops,
+		Escapes:           col.EscapedPackets,
+		VCReqWindow:       col.AvgVCRequestsPerWindow(nodes, p.WakeupWindow),
+		Energy:            energy,
+		AvgPowerW:         model.AvgPowerW(counts, energy),
+		Routers:           net.PerRouterReports(),
+	}
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"nord/internal/noc"
+	"nord/internal/power"
+	"nord/internal/traffic"
+)
+
+// PowerSample is one window of a power time series.
+type PowerSample struct {
+	CycleStart  uint64
+	PowerW      float64
+	OffFraction float64
+	Throughput  float64 // delivered flits/node/cycle in the window
+}
+
+// PowerTimeSeries runs a synthetic simulation and samples NoC power,
+// gated-off fraction and delivered throughput every period cycles,
+// exposing the temporal dynamics of power gating (bursts waking routers,
+// quiet stretches powering them down).
+func PowerTimeSeries(c SynthConfig, period int) ([]PowerSample, error) {
+	c.fill()
+	if period < 1 {
+		return nil, fmt.Errorf("sim: sample period must be positive, got %d", period)
+	}
+	params, err := c.buildParams(1)
+	if err != nil {
+		return nil, err
+	}
+	net, err := noc.New(params)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := traffic.PatternByName(c.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	model, err := power.New(c.Tech)
+	if err != nil {
+		return nil, err
+	}
+	inj := traffic.NewSynthetic(net, pattern, c.Rate, c.Seed)
+	for i := 0; i < c.Warmup; i++ {
+		inj.Tick(net.Cycle())
+		net.Tick()
+	}
+	net.BeginMeasurement()
+
+	nodes := params.NumNodes()
+	links := net.NumLinks()
+	var samples []PowerSample
+	prev := net.Collector().PowerCounts(nodes, links, net.HasPGController(), net.HasBypass())
+	prevFlits := net.Collector().FlitsDelivered
+	start := net.Cycle()
+	for i := 0; i < c.Measure; i++ {
+		inj.Tick(net.Cycle())
+		net.Tick()
+		if (i+1)%period == 0 {
+			cur := net.Collector().PowerCounts(nodes, links, net.HasPGController(), net.HasBypass())
+			delta := diffCounts(cur, prev)
+			e := model.Energy(delta)
+			flits := net.Collector().FlitsDelivered
+			samples = append(samples, PowerSample{
+				CycleStart:  start,
+				PowerW:      model.AvgPowerW(delta, e),
+				OffFraction: offFrac(delta),
+				Throughput:  float64(flits-prevFlits) / float64(period) / float64(nodes),
+			})
+			prev = cur
+			prevFlits = flits
+			start = net.Cycle()
+		}
+	}
+	net.FinishMeasurement()
+	return samples, nil
+}
+
+// diffCounts subtracts two cumulative count snapshots into a window.
+func diffCounts(cur, prev power.Counts) power.Counts {
+	d := cur
+	d.Cycles = cur.Cycles - prev.Cycles
+	d.RouterOnCycles = cur.RouterOnCycles - prev.RouterOnCycles
+	d.RouterOffCycles = cur.RouterOffCycles - prev.RouterOffCycles
+	d.Wakeups = cur.Wakeups - prev.Wakeups
+	d.BufWrites = cur.BufWrites - prev.BufWrites
+	d.BufReads = cur.BufReads - prev.BufReads
+	d.XbarTraversals = cur.XbarTraversals - prev.XbarTraversals
+	d.VAArbs = cur.VAArbs - prev.VAArbs
+	d.SAArbs = cur.SAArbs - prev.SAArbs
+	d.ClockedFlitHops = cur.ClockedFlitHops - prev.ClockedFlitHops
+	d.LinkTraversals = cur.LinkTraversals - prev.LinkTraversals
+	d.BypassHops = cur.BypassHops - prev.BypassHops
+	d.BypassInjections = cur.BypassInjections - prev.BypassInjections
+	d.BypassEjections = cur.BypassEjections - prev.BypassEjections
+	return d
+}
+
+func offFrac(c power.Counts) float64 {
+	total := c.RouterOnCycles + c.RouterOffCycles
+	if total == 0 {
+		return 0
+	}
+	return float64(c.RouterOffCycles) / float64(total)
+}
+
+// WritePowerSeriesCSV emits a power time series as CSV.
+func WritePowerSeriesCSV(w io.Writer, samples []PowerSample) error {
+	if _, err := fmt.Fprintln(w, "cycle_start,noc_power_w,off_fraction,throughput_fpc"); err != nil {
+		return err
+	}
+	for _, s := range samples {
+		if _, err := fmt.Fprintf(w, "%d,%s,%s,%s\n",
+			s.CycleStart,
+			strconv.FormatFloat(s.PowerW, 'f', 4, 64),
+			strconv.FormatFloat(s.OffFraction, 'f', 4, 64),
+			strconv.FormatFloat(s.Throughput, 'f', 5, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WatchStates runs a synthetic simulation and renders the mesh's router
+// power states every period cycles as ASCII frames ('#' on, '.' off,
+// '~' waking; performance-centric routers are uppercase O when on),
+// visualising how traffic wakes regions of the chip and quiet stretches
+// power them down.
+func WatchStates(c SynthConfig, period, frames int, w io.Writer) error {
+	c.fill()
+	if period < 1 || frames < 1 {
+		return fmt.Errorf("sim: watch needs positive period and frame count")
+	}
+	params, err := c.buildParams(1)
+	if err != nil {
+		return err
+	}
+	net, err := noc.New(params)
+	if err != nil {
+		return err
+	}
+	pattern, err := traffic.PatternByName(c.Pattern)
+	if err != nil {
+		return err
+	}
+	inj := traffic.NewSynthetic(net, pattern, c.Rate, c.Seed)
+	perf := map[int]bool{}
+	for _, id := range net.PerfCentricNow() {
+		perf[id] = true
+	}
+	for f := 0; f < frames; f++ {
+		for i := 0; i < period; i++ {
+			inj.Tick(net.Cycle())
+			net.Tick()
+		}
+		fmt.Fprintf(w, "cycle %d (in flight %d)\n", net.Cycle(), net.InFlight())
+		for y := 0; y < c.Height; y++ {
+			for x := 0; x < c.Width; x++ {
+				id := y*c.Width + x
+				glyph := "#"
+				switch net.RouterStateName(id) {
+				case "off":
+					glyph = "."
+				case "waking":
+					glyph = "~"
+				default:
+					if perf[id] {
+						glyph = "O"
+					}
+				}
+				fmt.Fprintf(w, " %s", glyph)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// ThresholdPoint is one (threshold, rate) measurement of the wakeup
+// threshold sensitivity study (the companion to Figure 7: the paper notes
+// "a threshold value of 4 VC requests can lead to nearly 60% increase in
+// packet latency", Section 6.1).
+type ThresholdPoint struct {
+	Threshold  int
+	Rate       float64
+	AvgLatency float64
+	Wakeups    uint64
+	PowerW     float64
+}
+
+// ThresholdSensitivity sweeps SYMMETRIC wakeup thresholds (every router
+// power-centric with the given value) across load rates, quantifying the
+// latency/power trade-off the asymmetric dual-threshold scheme navigates.
+func ThresholdSensitivity(thresholds []int, rates []float64, measure int, seed int64) ([]ThresholdPoint, error) {
+	var out []ThresholdPoint
+	for _, th := range thresholds {
+		for _, rate := range rates {
+			r, err := RunSynthetic(SynthConfig{
+				Design: noc.NoRD, Rate: rate, Measure: measure, Seed: seed,
+				NoPerfCentric: true,
+				ThresholdPerf: th, ThresholdPower: th,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ThresholdPoint{
+				Threshold:  th,
+				Rate:       rate,
+				AvgLatency: r.AvgPacketLatency,
+				Wakeups:    r.Wakeups,
+				PowerW:     r.AvgPowerW,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Planner implements the offline program of Section 4.4: given a mesh, its
+// bypass ring, and a candidate set of powered-on routers, it evaluates the
+// best achievable average node-to-node distance (hops) and average per-hop
+// latency (cycles) using Floyd-Warshall all-pairs shortest paths
+// (Figure 6), and searches for the performance-centric router set.
+//
+// Edge admissibility mirrors NoRD connectivity: a link u->v is usable iff
+//   - v is powered on (flit enters v's normal pipeline), or
+//   - v is powered off and u is v's ring predecessor (flit enters v's
+//     Bypass Inport and is forwarded through v's NI).
+//
+// Additionally a powered-off u can only emit flits on its Bypass Outport.
+// Traversing a powered-on router costs PipeOnCycles per hop; bypassing a
+// powered-off router costs PipeBypassCycles (2-cycle bypass + 1 LT versus
+// the 4-stage pipeline + 1 LT, Section 6.8).
+type Planner struct {
+	Mesh Mesh
+	Ring *Ring
+	// PipeOnCycles is the per-hop latency through a powered-on router
+	// (default 5: 4 pipeline stages + link traversal).
+	PipeOnCycles int
+	// PipeBypassCycles is the per-hop latency through a gated-off
+	// router's NI bypass (default 3: 2 bypass stages + link traversal).
+	PipeBypassCycles int
+}
+
+// NewPlanner returns a planner with the paper's default per-hop costs.
+func NewPlanner(m Mesh, r *Ring) *Planner {
+	return &Planner{Mesh: m, Ring: r, PipeOnCycles: 5, PipeBypassCycles: 3}
+}
+
+// Eval computes the average node-to-node distance in hops and the average
+// per-hop latency in cycles over all ordered node pairs, given the set of
+// powered-on routers. It returns an error only if some pair is unreachable,
+// which cannot happen for a valid ring (the ring connects everything).
+func (p *Planner) Eval(on []bool) (avgHops, perHopCycles float64, err error) {
+	n := p.Mesh.N()
+	if len(on) != n {
+		return 0, 0, fmt.Errorf("topology: on-set has %d entries, mesh has %d nodes", len(on), n)
+	}
+	const inf = math.MaxInt32
+	// cost[u][v]: cycles; hop[u][v]: hops along the min-cycle path.
+	cost := make([][]int32, n)
+	hops := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		cost[u] = make([]int32, n)
+		hops[u] = make([]int32, n)
+		for v := 0; v < n; v++ {
+			if u != v {
+				cost[u][v] = inf
+			}
+		}
+	}
+	edge := func(u, v int) {
+		var c int32
+		if on[v] {
+			c = int32(p.PipeOnCycles)
+		} else {
+			if p.Ring.Pred(v) != u {
+				return // off router accepts flits only on its Bypass Inport
+			}
+			c = int32(p.PipeBypassCycles)
+		}
+		if c < cost[u][v] {
+			cost[u][v] = c
+			hops[u][v] = 1
+		}
+	}
+	for u := 0; u < n; u++ {
+		if on[u] {
+			for d := East; d < Local; d++ {
+				if v, ok := p.Mesh.Neighbor(u, d); ok {
+					edge(u, v)
+				}
+			}
+		} else {
+			// A gated-off router can only emit on its Bypass Outport.
+			edge(u, p.Ring.Succ(u))
+		}
+	}
+	for k := 0; k < n; k++ {
+		ck := cost[k]
+		hk := hops[k]
+		for u := 0; u < n; u++ {
+			cuk := cost[u][k]
+			if cuk == inf {
+				continue
+			}
+			cu := cost[u]
+			hu := hops[u]
+			huk := hu[k]
+			for v := 0; v < n; v++ {
+				if ck[v] == inf {
+					continue
+				}
+				if nc := cuk + ck[v]; nc < cu[v] {
+					cu[v] = nc
+					hu[v] = huk + hk[v]
+				}
+			}
+		}
+	}
+	var totalHops, totalCycles int64
+	pairs := 0
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			if cost[u][v] == inf {
+				return 0, 0, fmt.Errorf("topology: node %d unreachable from %d", v, u)
+			}
+			totalCycles += int64(cost[u][v])
+			totalHops += int64(hops[u][v])
+			pairs++
+		}
+	}
+	avgHops = float64(totalHops) / float64(pairs)
+	perHopCycles = float64(totalCycles) / float64(totalHops)
+	return avgHops, perHopCycles, nil
+}
+
+// TradeoffPoint is one point of the Figure 6 curve: with K routers
+// powered on, the best achievable average distance and the per-hop latency
+// of that configuration.
+type TradeoffPoint struct {
+	K            int
+	OnSet        []int
+	AvgHops      float64
+	PerHopCycles float64
+}
+
+// Tradeoff computes the Figure 6 curve for K = 0..N powered-on routers.
+// For meshes up to 16 nodes the best on-set per K is found exhaustively
+// (as the paper's offline program can); for larger meshes a greedy
+// forward-selection is used. The returned points are ordered by K.
+func (p *Planner) Tradeoff() ([]TradeoffPoint, error) {
+	n := p.Mesh.N()
+	if n <= 16 {
+		return p.tradeoffExhaustive()
+	}
+	return p.tradeoffGreedy()
+}
+
+func (p *Planner) tradeoffExhaustive() ([]TradeoffPoint, error) {
+	n := p.Mesh.N()
+	best := make([]TradeoffPoint, n+1)
+	for k := range best {
+		best[k] = TradeoffPoint{K: k, AvgHops: math.Inf(1)}
+	}
+	on := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		k := bits.OnesCount(uint(mask))
+		for v := 0; v < n; v++ {
+			on[v] = mask&(1<<v) != 0
+		}
+		h, c, err := p.Eval(on)
+		if err != nil {
+			return nil, err
+		}
+		if h < best[k].AvgHops || (h == best[k].AvgHops && c < best[k].PerHopCycles) {
+			best[k] = TradeoffPoint{K: k, OnSet: maskToSet(mask), AvgHops: h, PerHopCycles: c}
+		}
+	}
+	return best, nil
+}
+
+func (p *Planner) tradeoffGreedy() ([]TradeoffPoint, error) {
+	n := p.Mesh.N()
+	on := make([]bool, n)
+	h, c, err := p.Eval(on)
+	if err != nil {
+		return nil, err
+	}
+	points := []TradeoffPoint{{K: 0, AvgHops: h, PerHopCycles: c}}
+	chosen := make([]int, 0, n)
+	for k := 1; k <= n; k++ {
+		bestV, bestH, bestC := -1, math.Inf(1), math.Inf(1)
+		for v := 0; v < n; v++ {
+			if on[v] {
+				continue
+			}
+			on[v] = true
+			h, c, err := p.Eval(on)
+			on[v] = false
+			if err != nil {
+				return nil, err
+			}
+			if h < bestH || (h == bestH && c < bestC) {
+				bestV, bestH, bestC = v, h, c
+			}
+		}
+		on[bestV] = true
+		chosen = append(chosen, bestV)
+		set := append([]int(nil), chosen...)
+		sort.Ints(set)
+		points = append(points, TradeoffPoint{K: k, OnSet: set, AvgHops: bestH, PerHopCycles: bestC})
+	}
+	return points, nil
+}
+
+// GreedySet grows a performance-centric set of exactly k routers by
+// greedy forward-selection (adding whichever router most reduces the
+// average distance), without evaluating the full trade-off curve. For
+// meshes beyond the exhaustive planner's reach this is the practical way
+// to pick the Section 4.4 class.
+func (p *Planner) GreedySet(k int) ([]int, error) {
+	n := p.Mesh.N()
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("topology: greedy set size %d out of range [0,%d]", k, n)
+	}
+	on := make([]bool, n)
+	chosen := make([]int, 0, k)
+	for len(chosen) < k {
+		bestV, bestH, bestC := -1, math.Inf(1), math.Inf(1)
+		for v := 0; v < n; v++ {
+			if on[v] {
+				continue
+			}
+			on[v] = true
+			h, c, err := p.Eval(on)
+			on[v] = false
+			if err != nil {
+				return nil, err
+			}
+			if h < bestH || (h == bestH && c < bestC) {
+				bestV, bestH, bestC = v, h, c
+			}
+		}
+		on[bestV] = true
+		chosen = append(chosen, bestV)
+	}
+	sort.Ints(chosen)
+	return chosen, nil
+}
+
+// PerformanceCentric selects the K-router performance-centric class for
+// asymmetric wakeup thresholds (Section 4.4). For the paper's 4x4 example
+// K=6 is the knee of the Figure 6 curve.
+func (p *Planner) PerformanceCentric(k int) ([]int, error) {
+	n := p.Mesh.N()
+	if k < 0 || k > n {
+		return nil, fmt.Errorf("topology: performance-centric set size %d out of range [0,%d]", k, n)
+	}
+	pts, err := p.Tradeoff()
+	if err != nil {
+		return nil, err
+	}
+	set := append([]int(nil), pts[k].OnSet...)
+	sort.Ints(set)
+	return set, nil
+}
+
+// Knee picks the K whose point maximises the distance-reduction per
+// latency-increase trade-off: the largest K such that adding routers past
+// it improves average distance by less than minGain hops. It is a simple
+// automated stand-in for the paper's visual selection of 6 routers.
+func Knee(points []TradeoffPoint, minGain float64) int {
+	for k := 1; k < len(points); k++ {
+		if points[k-1].AvgHops-points[k].AvgHops < minGain {
+			return k - 1
+		}
+	}
+	return len(points) - 1
+}
+
+func maskToSet(mask int) []int {
+	var out []int
+	for v := 0; mask != 0; v, mask = v+1, mask>>1 {
+		if mask&1 != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,168 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRing4x4MatchesPaperSerpentine(t *testing.T) {
+	m := MustMesh(4, 4)
+	r, err := NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 7, 6, 5, 9, 10, 11, 15, 14, 13, 12, 8, 4}
+	got := r.Order()
+	if len(got) != len(want) {
+		t.Fatalf("ring length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ring order %v, want %v", got, want)
+		}
+	}
+	// The paper's detour example traverses 13 -> 12 -> 8 on the ring.
+	if r.Succ(13) != 12 || r.Succ(12) != 8 {
+		t.Errorf("expected ring path 13->12->8, got 13->%d, 12->%d", r.Succ(13), r.Succ(12))
+	}
+}
+
+func checkHamiltonian(t *testing.T, m Mesh, r *Ring) {
+	t.Helper()
+	n := m.N()
+	seen := make(map[int]bool, n)
+	cur := r.Order()[0]
+	for i := 0; i < n; i++ {
+		if seen[cur] {
+			t.Fatalf("ring revisits node %d", cur)
+		}
+		seen[cur] = true
+		next := r.Succ(cur)
+		if _, err := m.DirTo(cur, next); err != nil {
+			t.Fatalf("ring uses non-mesh link %d->%d", cur, next)
+		}
+		if r.Pred(next) != cur {
+			t.Fatalf("pred/succ mismatch at %d->%d", cur, next)
+		}
+		cur = next
+	}
+	if cur != r.Order()[0] {
+		t.Fatalf("ring does not close: ended at %d", cur)
+	}
+	if len(seen) != n {
+		t.Fatalf("ring visits %d of %d nodes", len(seen), n)
+	}
+}
+
+func TestRingIsHamiltonianCycle(t *testing.T) {
+	sizes := [][2]int{{2, 2}, {4, 4}, {8, 8}, {3, 4}, {4, 3}, {5, 4}, {4, 5}, {6, 2}, {2, 6}, {7, 2}}
+	for _, wh := range sizes {
+		m := MustMesh(wh[0], wh[1])
+		r, err := NewRing(m)
+		if err != nil {
+			t.Errorf("%dx%d: %v", wh[0], wh[1], err)
+			continue
+		}
+		checkHamiltonian(t, m, r)
+	}
+}
+
+func TestRingOddOddImpossible(t *testing.T) {
+	for _, wh := range [][2]int{{3, 3}, {5, 5}, {3, 5}} {
+		if _, err := NewRing(MustMesh(wh[0], wh[1])); err == nil {
+			t.Errorf("NewRing(%dx%d) should fail (odd x odd grid has no Hamiltonian cycle)", wh[0], wh[1])
+		}
+	}
+}
+
+// Property: for random even-dimension meshes the comb ring is a valid
+// Hamiltonian cycle with consistent port directions.
+func TestRingProperty(t *testing.T) {
+	f := func(w8, h8 uint8) bool {
+		w := int(w8%6) + 2
+		h := int(h8%6) + 2
+		if w%2 == 1 && h%2 == 1 {
+			h++ // make feasible
+		}
+		m := MustMesh(w, h)
+		r, err := NewRing(m)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < m.N(); v++ {
+			s := r.Succ(v)
+			d, err := m.DirTo(v, s)
+			if err != nil || r.OutDir(v) != d || r.InDir(s) != d.Opposite() {
+				return false
+			}
+			if r.RingDist(v, s) != 1 {
+				return false
+			}
+			if r.RingDist(v, v) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Rand: rand.New(rand.NewSource(4)), MaxCount: 100}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRingDateline(t *testing.T) {
+	m := MustMesh(4, 4)
+	r, err := NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossings := 0
+	for v := 0; v < m.N(); v++ {
+		if r.CrossesDateline(v) {
+			crossings++
+			if r.Succ(v) != r.Order()[0] {
+				t.Errorf("dateline crossing at %d does not lead to ring origin", v)
+			}
+		}
+	}
+	if crossings != 1 {
+		t.Errorf("found %d dateline crossings, want exactly 1", crossings)
+	}
+}
+
+func TestRingFromOrderValidation(t *testing.T) {
+	m := MustMesh(2, 2)
+	if _, err := RingFromOrder(m, []int{0, 1, 3}); err == nil {
+		t.Error("short order should fail")
+	}
+	if _, err := RingFromOrder(m, []int{0, 1, 1, 2}); err == nil {
+		t.Error("duplicate node should fail")
+	}
+	if _, err := RingFromOrder(m, []int{0, 3, 1, 2}); err == nil {
+		t.Error("non-adjacent step should fail")
+	}
+	if _, err := RingFromOrder(m, []int{0, 1, 3, 99}); err == nil {
+		t.Error("invalid node should fail")
+	}
+	r, err := RingFromOrder(m, []int{0, 1, 3, 2})
+	if err != nil {
+		t.Fatalf("valid order rejected: %v", err)
+	}
+	checkHamiltonian(t, m, r)
+}
+
+func TestRingDist(t *testing.T) {
+	m := MustMesh(4, 4)
+	r, err := NewRing(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full loop distance from a node back to itself is 0; to predecessor
+	// is N-1.
+	for v := 0; v < m.N(); v++ {
+		if d := r.RingDist(v, r.Pred(v)); d != m.N()-1 {
+			t.Errorf("RingDist(%d, pred) = %d, want %d", v, d, m.N()-1)
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// Package traffic provides the synthetic workloads of the evaluation:
+// uniform random and bit complement (Section 5.2), further classic
+// patterns for testing, a Bernoulli open-loop injector with the paper's
+// bimodal packet lengths (1-flit short / 5-flit long), and a two-state
+// bursty source useful for idle-period studies.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nord/internal/flit"
+	"nord/internal/topology"
+)
+
+// Pattern maps a source node to a destination node.
+type Pattern func(m topology.Mesh, src int, rng *rand.Rand) int
+
+// UniformRandom picks any node other than the source uniformly.
+func UniformRandom(m topology.Mesh, src int, rng *rand.Rand) int {
+	d := rng.Intn(m.N() - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// BitComplement sends to the bit-complement of the node index (the
+// diagonally opposite node): node (x,y) -> (W-1-x, H-1-y).
+func BitComplement(m topology.Mesh, src int, _ *rand.Rand) int {
+	x, y := m.Coord(src)
+	return m.ID(m.W-1-x, m.H-1-y)
+}
+
+// Transpose sends (x, y) -> (y, x); meaningful on square meshes.
+func Transpose(m topology.Mesh, src int, _ *rand.Rand) int {
+	x, y := m.Coord(src)
+	if x >= m.H || y >= m.W {
+		return BitComplement(m, src, nil)
+	}
+	return m.ID(y, x)
+}
+
+// Tornado sends halfway around each row: (x, y) -> (x + W/2 - 1 mod W, y).
+func Tornado(m topology.Mesh, src int, _ *rand.Rand) int {
+	x, y := m.Coord(src)
+	return m.ID((x+m.W/2-1+m.W)%m.W, y)
+}
+
+// Hotspot returns a pattern sending the given fraction of traffic to the
+// hotspot nodes and the rest uniformly.
+func Hotspot(spots []int, frac float64) Pattern {
+	return func(m topology.Mesh, src int, rng *rand.Rand) int {
+		if len(spots) > 0 && rng.Float64() < frac {
+			d := spots[rng.Intn(len(spots))]
+			if d != src {
+				return d
+			}
+		}
+		return UniformRandom(m, src, rng)
+	}
+}
+
+// PatternByName resolves the patterns used by the CLI tools.
+func PatternByName(name string) (Pattern, error) {
+	switch name {
+	case "uniform":
+		return UniformRandom, nil
+	case "bitcomp", "bit-complement":
+		return BitComplement, nil
+	case "transpose":
+		return Transpose, nil
+	case "tornado":
+		return Tornado, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %q (uniform, bitcomp, transpose, tornado)", name)
+	}
+}
+
+// Injector is the interface traffic sources expose to the simulation
+// harness.
+type Injector interface {
+	// Tick is called once per cycle before the network tick; the source
+	// creates packets and offers them to inject. inject reports false on
+	// backpressure.
+	Tick(cycle uint64)
+	// Offered returns the number of packets generated so far (whether or
+	// not accepted yet).
+	Offered() uint64
+	// Dropped returns packets abandoned because the source queue
+	// overflowed (only meaningful beyond saturation).
+	Dropped() uint64
+	// Pending returns packets generated but not yet accepted by the
+	// network (sitting in per-node source queues).
+	Pending() int
+}
+
+// Network is the slice of the noc API the injectors need; *noc.Network
+// satisfies it.
+type Network interface {
+	Mesh() topology.Mesh
+	NewPacket(src, dst int, class flit.Class, length int) *flit.Packet
+	Inject(p *flit.Packet) bool
+}
+
+// Bimodal packet lengths (Section 5.2): "packets are uniformly assigned
+// two lengths. Short packets are single-flit while long packets have 5
+// flits."
+const (
+	ShortFlits = 1
+	LongFlits  = 5
+	// avgFlits is the expected packet length with the 50/50 mix.
+	avgFlits = (ShortFlits + LongFlits) / 2.0
+)
+
+// Synthetic is an open-loop Bernoulli injector: each node independently
+// generates packets so that the offered load equals Rate flits/node/cycle.
+type Synthetic struct {
+	Net     Network
+	Pattern Pattern
+	// Rate is the offered load in flits per node per cycle.
+	Rate float64
+	// ShortFrac is the probability a packet is short (default 0.5).
+	ShortFrac float64
+	// Class is the protocol class to inject on.
+	Class flit.Class
+	// MaxPending bounds each node's source queue; beyond it packets are
+	// dropped (the network is saturated anyway). Default 64.
+	MaxPending int
+
+	rng     *rand.Rand
+	pending [][]*flit.Packet
+	offered uint64
+	dropped uint64
+}
+
+// NewSynthetic builds an injector with the paper's defaults.
+func NewSynthetic(net Network, pattern Pattern, rate float64, seed int64) *Synthetic {
+	return &Synthetic{
+		Net:        net,
+		Pattern:    pattern,
+		Rate:       rate,
+		ShortFrac:  0.5,
+		MaxPending: 64,
+		rng:        rand.New(rand.NewSource(seed)),
+		pending:    make([][]*flit.Packet, net.Mesh().N()),
+	}
+}
+
+// Tick generates this cycle's packets and drains per-node source queues.
+func (s *Synthetic) Tick(cycle uint64) {
+	m := s.Net.Mesh()
+	pPkt := s.Rate / avgFlits
+	for src := 0; src < m.N(); src++ {
+		if s.rng.Float64() < pPkt {
+			dst := s.Pattern(m, src, s.rng)
+			if dst == src {
+				continue
+			}
+			length := LongFlits
+			if s.rng.Float64() < s.ShortFrac {
+				length = ShortFlits
+			}
+			s.offered++
+			if len(s.pending[src]) < s.MaxPending {
+				s.pending[src] = append(s.pending[src], s.Net.NewPacket(src, dst, s.Class, length))
+			} else {
+				s.dropped++
+			}
+		}
+		// Drain the source queue into the NI.
+		for len(s.pending[src]) > 0 {
+			if !s.Net.Inject(s.pending[src][0]) {
+				break
+			}
+			s.pending[src] = s.pending[src][1:]
+		}
+	}
+}
+
+// Offered implements Injector.
+func (s *Synthetic) Offered() uint64 { return s.offered }
+
+// Dropped implements Injector.
+func (s *Synthetic) Dropped() uint64 { return s.dropped }
+
+// Pending implements Injector.
+func (s *Synthetic) Pending() int {
+	n := 0
+	for _, q := range s.pending {
+		n += len(q)
+	}
+	return n
+}
+
+// Bursty is a two-state Markov-modulated injector: each node alternates
+// between an "on" state injecting at OnRate and a silent "off" state.
+// Mean burst and gap lengths control how fragmented router idle periods
+// are (the Section 3.2 phenomenon).
+type Bursty struct {
+	Net       Network
+	Pattern   Pattern
+	OnRate    float64 // flits/node/cycle while bursting
+	MeanBurst float64 // mean cycles per on-period
+	MeanGap   float64 // mean cycles per off-period
+	ShortFrac float64
+	Class     flit.Class
+
+	rng     *rand.Rand
+	on      []bool
+	pending [][]*flit.Packet
+	offered uint64
+	dropped uint64
+}
+
+// NewBursty builds a bursty injector. The long-run average load is
+// OnRate * MeanBurst / (MeanBurst + MeanGap).
+func NewBursty(net Network, pattern Pattern, onRate, meanBurst, meanGap float64, seed int64) *Bursty {
+	n := net.Mesh().N()
+	return &Bursty{
+		Net: net, Pattern: pattern,
+		OnRate: onRate, MeanBurst: meanBurst, MeanGap: meanGap,
+		ShortFrac: 0.5,
+		rng:       rand.New(rand.NewSource(seed)),
+		on:        make([]bool, n),
+		pending:   make([][]*flit.Packet, n),
+	}
+}
+
+// AvgRate returns the long-run offered load in flits/node/cycle.
+func (b *Bursty) AvgRate() float64 {
+	return b.OnRate * b.MeanBurst / (b.MeanBurst + b.MeanGap)
+}
+
+// Tick implements Injector.
+func (b *Bursty) Tick(cycle uint64) {
+	m := b.Net.Mesh()
+	for src := 0; src < m.N(); src++ {
+		// Geometric state flips give the configured mean durations.
+		if b.on[src] {
+			if b.rng.Float64() < 1.0/b.MeanBurst {
+				b.on[src] = false
+			}
+		} else if b.rng.Float64() < 1.0/b.MeanGap {
+			b.on[src] = true
+		}
+		if b.on[src] && b.rng.Float64() < b.OnRate/avgFlits {
+			dst := b.Pattern(m, src, b.rng)
+			if dst == src {
+				continue
+			}
+			length := LongFlits
+			if b.rng.Float64() < b.ShortFrac {
+				length = ShortFlits
+			}
+			b.offered++
+			if len(b.pending[src]) < 64 {
+				b.pending[src] = append(b.pending[src], b.Net.NewPacket(src, dst, b.Class, length))
+			} else {
+				b.dropped++
+			}
+		}
+		for len(b.pending[src]) > 0 {
+			if !b.Net.Inject(b.pending[src][0]) {
+				break
+			}
+			b.pending[src] = b.pending[src][1:]
+		}
+	}
+}
+
+// Offered implements Injector.
+func (b *Bursty) Offered() uint64 { return b.offered }
+
+// Dropped implements Injector.
+func (b *Bursty) Dropped() uint64 { return b.dropped }
+
+// Pending implements Injector.
+func (b *Bursty) Pending() int {
+	n := 0
+	for _, q := range b.pending {
+		n += len(q)
+	}
+	return n
+}
