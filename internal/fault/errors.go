@@ -1,0 +1,98 @@
+package fault
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PacketDump is one in-flight packet's snapshot included in a
+// DeadlockError, small enough to log by the thousand.
+type PacketDump struct {
+	ID       uint64
+	Src, Dst int
+	Class    string
+	Length   int
+	AgeCycle uint64 // cycles since injection
+	Where    string // location hint: "router 5 port W vc 2", "NI 3 queue", ...
+}
+
+// String implements fmt.Stringer.
+func (p PacketDump) String() string {
+	return fmt.Sprintf("pkt#%d %d->%d %s len=%d age=%d at %s",
+		p.ID, p.Src, p.Dst, p.Class, p.Length, p.AgeCycle, p.Where)
+}
+
+// MaxDumpPackets bounds the in-flight dump carried by a DeadlockError.
+const MaxDumpPackets = 16
+
+// DeadlockError reports that the network made no forward progress for the
+// watchdog horizon while packets were in flight: a routing deadlock, or a
+// partition left by hard-failed routers under a design without the NoRD
+// bypass ring. It carries a bounded dump of the stuck packets so a failed
+// sweep cell is diagnosable offline.
+type DeadlockError struct {
+	// Design is the power-gating design's name.
+	Design string
+	// Cycle is the cycle the watchdog fired; StallCycles the no-progress
+	// horizon that elapsed before it.
+	Cycle       uint64
+	StallCycles uint64
+	// InFlight is the number of undelivered packets; Packets a bounded
+	// sample of them (at most MaxDumpPackets).
+	InFlight int
+	Packets  []PacketDump
+	// FailedRouters lists permanently failed routers, when fault injection
+	// was active — a non-empty list usually means partition, not protocol
+	// deadlock.
+	FailedRouters []int
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "noc: deadlock on %s: no progress for %d cycles with %d packets in flight at cycle %d",
+		e.Design, e.StallCycles, e.InFlight, e.Cycle)
+	if len(e.FailedRouters) > 0 {
+		fmt.Fprintf(&b, " (hard-failed routers %v: likely partition)", e.FailedRouters)
+	}
+	for _, p := range e.Packets {
+		fmt.Fprintf(&b, "\n  %s", p)
+	}
+	if e.InFlight > len(e.Packets) {
+		fmt.Fprintf(&b, "\n  ... and %d more", e.InFlight-len(e.Packets))
+	}
+	return b.String()
+}
+
+// ProtocolError reports a flow-control or pipeline invariant violation
+// (credit protocol breach, flit delivered to a gated-off router's mesh
+// port, ...). These were panics; as structured errors a sweep records the
+// failed run and keeps going.
+type ProtocolError struct {
+	Cycle  uint64
+	Router int // -1 when not router-specific
+	Msg    string
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	if e.Router >= 0 {
+		return fmt.Sprintf("noc: protocol violation at router %d, cycle %d: %s", e.Router, e.Cycle, e.Msg)
+	}
+	return fmt.Sprintf("noc: protocol violation at cycle %d: %s", e.Cycle, e.Msg)
+}
+
+// UnrecoverableError reports a fault the recovery machinery gave up on:
+// a packet that exhausted its retransmit budget.
+type UnrecoverableError struct {
+	Cycle    uint64
+	PacketID uint64
+	Src, Dst int
+	Retries  int
+}
+
+// Error implements error.
+func (e *UnrecoverableError) Error() string {
+	return fmt.Sprintf("fault: packet #%d (%d->%d) unrecoverable after %d retransmits at cycle %d",
+		e.PacketID, e.Src, e.Dst, e.Retries, e.Cycle)
+}

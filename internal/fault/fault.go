@@ -1,0 +1,264 @@
+// Package fault provides the deterministic fault-injection subsystem:
+// seeded schedules of fault events (transient link corruption, dropped
+// wakeup handshakes, routers stuck gated-off, permanent router
+// hard-fails), the structured error types the simulation surfaces instead
+// of panicking, and the recovery accounting report.
+//
+// The package is deliberately free of simulator dependencies: the noc
+// package consumes schedules and produces reports, so a thousand parallel
+// sweeps can share one process and a bad run is a Result with an error
+// column, never a crashed worker pool.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Kind classifies a fault event.
+type Kind uint8
+
+const (
+	// CorruptLink arms a transient fault on one unidirectional mesh link:
+	// the next flit placed on the link has its checksum corrupted. The
+	// corruption is detected at the next hop's checksum verification; the
+	// packet is poisoned, dropped at its destination NI and recovered by
+	// the source's retransmit machinery (end-to-end recovery).
+	CorruptLink Kind = iota
+	// DropWakeup swallows the router's next off->waking transition (a lost
+	// wakeup handshake). The power-gating watchdog re-issues the wakeup
+	// after the demand has persisted past its timeout.
+	DropWakeup
+	// StuckOff blocks every wakeup of the router until the power-gating
+	// watchdog forces one through (a stuck PG controller).
+	StuckOff
+	// HardFail permanently disables the router. The router drains its
+	// in-flight traffic, gates off and never wakes again. Under NoRD the
+	// node stays connected through the non-gated bypass ring (a hard-failed
+	// router behaves exactly like a permanently power-gated one); under the
+	// conventional designs the mesh partitions and the run reports a
+	// DeadlockError.
+	HardFail
+	numKinds = 4
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case CorruptLink:
+		return "corrupt-link"
+	case DropWakeup:
+		return "drop-wakeup"
+	case StuckOff:
+		return "stuck-off"
+	case HardFail:
+		return "hard-fail"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// Cycle is the simulation cycle the fault is injected at.
+	Cycle uint64
+	// Kind selects the fault model.
+	Kind Kind
+	// Router is the target router (for CorruptLink, the link's source).
+	Router int
+	// Dir is the output direction of the corrupted link (0..3, mesh
+	// directions only; meaningful for CorruptLink).
+	Dir int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	if e.Kind == CorruptLink {
+		return fmt.Sprintf("@%d %v router %d dir %d", e.Cycle, e.Kind, e.Router, e.Dir)
+	}
+	return fmt.Sprintf("@%d %v router %d", e.Cycle, e.Kind, e.Router)
+}
+
+// Config parameterises a generated schedule. The zero value injects
+// nothing.
+type Config struct {
+	// Seed drives the deterministic event placement.
+	Seed int64
+	// Horizon is the cycle range events are spread over; events land in
+	// [Horizon/10, Horizon) so warmup traffic is established first.
+	Horizon uint64
+	// HardFails is the number of distinct routers to permanently fail.
+	HardFails int
+	// StuckOff is the number of stuck-gated-off events.
+	StuckOff int
+	// DropWakeups is the number of dropped wakeup handshakes.
+	DropWakeups int
+	// CorruptLinks is the number of transient link-corruption events.
+	CorruptLinks int
+	// Exclude lists router IDs exempt from HardFail/StuckOff (e.g. nodes a
+	// workload cannot lose).
+	Exclude []int
+}
+
+// Total returns the number of events the config requests.
+func (c Config) Total() int {
+	return c.HardFails + c.StuckOff + c.DropWakeups + c.CorruptLinks
+}
+
+// Schedule is a deterministic, cycle-ordered list of fault events.
+type Schedule struct {
+	Events []Event
+	Seed   int64
+}
+
+// Generate builds a seeded schedule for a mesh of the given node count.
+// The same (config, nodes) pair always yields the same schedule. Hard-fail
+// targets are distinct routers; other events may repeat targets.
+func Generate(cfg Config, nodes int) (*Schedule, error) {
+	if nodes < 1 {
+		return nil, fmt.Errorf("fault: schedule needs a positive node count, got %d", nodes)
+	}
+	if cfg.Horizon == 0 && cfg.Total() > 0 {
+		return nil, fmt.Errorf("fault: schedule with %d events needs a positive horizon", cfg.Total())
+	}
+	excluded := make(map[int]bool, len(cfg.Exclude))
+	for _, id := range cfg.Exclude {
+		excluded[id] = true
+	}
+	eligible := make([]int, 0, nodes)
+	for id := 0; id < nodes; id++ {
+		if !excluded[id] {
+			eligible = append(eligible, id)
+		}
+	}
+	if cfg.HardFails > len(eligible) {
+		return nil, fmt.Errorf("fault: %d hard-fails requested but only %d eligible routers", cfg.HardFails, len(eligible))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &Schedule{Seed: cfg.Seed}
+	cycle := func() uint64 {
+		lo := cfg.Horizon / 10
+		return lo + uint64(rng.Int63n(int64(cfg.Horizon-lo)))
+	}
+	// Hard-fails pick distinct routers via a partial shuffle.
+	perm := rng.Perm(len(eligible))
+	for i := 0; i < cfg.HardFails; i++ {
+		s.Events = append(s.Events, Event{Cycle: cycle(), Kind: HardFail, Router: eligible[perm[i]]})
+	}
+	for i := 0; i < cfg.StuckOff; i++ {
+		s.Events = append(s.Events, Event{Cycle: cycle(), Kind: StuckOff, Router: eligible[rng.Intn(len(eligible))]})
+	}
+	for i := 0; i < cfg.DropWakeups; i++ {
+		s.Events = append(s.Events, Event{Cycle: cycle(), Kind: DropWakeup, Router: rng.Intn(nodes)})
+	}
+	for i := 0; i < cfg.CorruptLinks; i++ {
+		s.Events = append(s.Events, Event{Cycle: cycle(), Kind: CorruptLink, Router: rng.Intn(nodes), Dir: rng.Intn(4)})
+	}
+	s.sort()
+	return s, nil
+}
+
+// FromEvents builds a schedule from an explicit event list (tests,
+// targeted experiments). Events are sorted by cycle.
+func FromEvents(events ...Event) *Schedule {
+	s := &Schedule{Events: append([]Event(nil), events...)}
+	s.sort()
+	return s
+}
+
+// sort orders events by cycle, with a stable tiebreak for determinism.
+func (s *Schedule) sort() {
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].Cycle < s.Events[j].Cycle })
+}
+
+// Count returns the number of events of the given kind.
+func (s *Schedule) Count(k Kind) int {
+	n := 0
+	for _, e := range s.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Report is the recovery accounting of one faulted run: what was injected,
+// what actually triggered (a corruption armed on a link no flit ever used
+// again, or a wakeup drop on a router that never tried to wake, is a
+// miss), and what the recovery machinery did about it.
+type Report struct {
+	// Injected counts scheduled events per kind.
+	Injected [numKinds]int
+	// Triggered counts events that actually bit per kind: a corruption
+	// that hit a flit, a wakeup that was really swallowed, a stuck/failed
+	// router that actually entered the state.
+	Triggered [numKinds]int
+
+	// FlitsCorrupted is the number of flits whose checksum was damaged;
+	// PacketsPoisoned the packets detected corrupt (and dropped at their
+	// destination NI instead of delivered).
+	FlitsCorrupted  uint64
+	PacketsPoisoned uint64
+	// Retransmits counts end-to-end retransmissions issued by source NIs.
+	Retransmits uint64
+	// WatchdogWakeups counts wakeups re-issued by the power-gating
+	// watchdog after a drop/stuck fault swallowed the original handshake.
+	WatchdogWakeups uint64
+	// RoutersLost is the number of routers permanently hard-failed.
+	RoutersLost int
+
+	// PacketsInjected / PacketsDelivered / PacketsLost account for unique
+	// payloads (retransmissions are not double-counted): every injected
+	// payload is eventually delivered, lost (retry budget exhausted,
+	// reported below) or still in flight when the run ends.
+	PacketsInjected  uint64
+	PacketsDelivered uint64
+	PacketsLost      uint64
+
+	// Unrecoverable holds the first few fault-recovery failures (retry
+	// budget exhausted), bounded to keep reports small.
+	Unrecoverable []error
+}
+
+// InjectedTotal returns the number of scheduled events.
+func (r *Report) InjectedTotal() int {
+	n := 0
+	for _, v := range r.Injected {
+		n += v
+	}
+	return n
+}
+
+// TriggeredTotal returns the number of events that actually bit.
+func (r *Report) TriggeredTotal() int {
+	n := 0
+	for _, v := range r.Triggered {
+		n += v
+	}
+	return n
+}
+
+// Recovered reports whether every triggered fault was absorbed: all
+// poisoned packets were retransmitted and delivered (none lost) and no
+// unrecoverable errors were recorded.
+func (r *Report) Recovered() bool {
+	return r.PacketsLost == 0 && len(r.Unrecoverable) == 0
+}
+
+// DeliveredFraction returns delivered/injected unique payloads (1 when
+// nothing was injected).
+func (r *Report) DeliveredFraction() float64 {
+	if r.PacketsInjected == 0 {
+		return 1
+	}
+	return float64(r.PacketsDelivered) / float64(r.PacketsInjected)
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (r *Report) String() string {
+	return fmt.Sprintf("fault: injected=%d triggered=%d corrupted=%d poisoned=%d retx=%d watchdog=%d lost-routers=%d pkts=%d/%d (lost %d)",
+		r.InjectedTotal(), r.TriggeredTotal(), r.FlitsCorrupted, r.PacketsPoisoned,
+		r.Retransmits, r.WatchdogWakeups, r.RoutersLost,
+		r.PacketsDelivered, r.PacketsInjected, r.PacketsLost)
+}

@@ -1,0 +1,160 @@
+package fault
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, Horizon: 10_000, HardFails: 3, StuckOff: 2, DropWakeups: 2, CorruptLinks: 5}
+	a, err := Generate(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a.Events) != cfg.Total() {
+		t.Fatalf("got %d events, want %d", len(a.Events), cfg.Total())
+	}
+	c, err := Generate(Config{Seed: 43, Horizon: 10_000, HardFails: 3, StuckOff: 2, DropWakeups: 2, CorruptLinks: 5}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateOrderedAndBounded(t *testing.T) {
+	s, err := Generate(Config{Seed: 7, Horizon: 50_000, HardFails: 4, CorruptLinks: 10}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := uint64(50_000 / 10)
+	for i, e := range s.Events {
+		if e.Cycle < lo || e.Cycle >= 50_000 {
+			t.Errorf("event %d cycle %d outside [%d, 50000)", i, e.Cycle, lo)
+		}
+		if i > 0 && s.Events[i-1].Cycle > e.Cycle {
+			t.Errorf("events out of order at %d", i)
+		}
+		if e.Router < 0 || e.Router >= 16 {
+			t.Errorf("event %d targets router %d outside the mesh", i, e.Router)
+		}
+	}
+}
+
+func TestGenerateDistinctHardFails(t *testing.T) {
+	s, err := Generate(Config{Seed: 1, Horizon: 1000, HardFails: 8}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, e := range s.Events {
+		if e.Kind != HardFail {
+			t.Fatalf("unexpected kind %v", e.Kind)
+		}
+		if seen[e.Router] {
+			t.Fatalf("router %d hard-failed twice", e.Router)
+		}
+		seen[e.Router] = true
+	}
+}
+
+func TestGenerateExclude(t *testing.T) {
+	s, err := Generate(Config{Seed: 3, Horizon: 1000, HardFails: 10, StuckOff: 10, Exclude: []int{0, 1, 2, 3}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Events {
+		if e.Router < 4 {
+			t.Fatalf("%v targeted an excluded router", e)
+		}
+	}
+	if _, err := Generate(Config{Seed: 3, Horizon: 1000, HardFails: 13, Exclude: []int{0, 1, 2, 3}}, 16); err == nil {
+		t.Fatal("hard-fails beyond the eligible set should error")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{HardFails: 1}, 16); err == nil {
+		t.Fatal("zero horizon with events should error")
+	}
+	if _, err := Generate(Config{}, 0); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+	if s, err := Generate(Config{}, 16); err != nil || len(s.Events) != 0 {
+		t.Fatalf("empty config should yield an empty schedule, got %v, %v", s, err)
+	}
+}
+
+func TestFromEventsSortsAndCounts(t *testing.T) {
+	s := FromEvents(
+		Event{Cycle: 30, Kind: HardFail, Router: 2},
+		Event{Cycle: 10, Kind: CorruptLink, Router: 1, Dir: 0},
+		Event{Cycle: 20, Kind: StuckOff, Router: 3},
+	)
+	if s.Events[0].Cycle != 10 || s.Events[2].Cycle != 30 {
+		t.Fatalf("events not sorted: %v", s.Events)
+	}
+	if s.Count(HardFail) != 1 || s.Count(CorruptLink) != 1 || s.Count(DropWakeup) != 0 {
+		t.Fatal("bad kind counts")
+	}
+}
+
+func TestDeadlockErrorFormat(t *testing.T) {
+	err := &DeadlockError{
+		Design: "No_PG", Cycle: 60_000, StallCycles: 50_000, InFlight: 40,
+		Packets: []PacketDump{
+			{ID: 7, Src: 1, Dst: 14, Class: "request", Length: 5, AgeCycle: 51_000, Where: "router 5 port W vc 2"},
+		},
+		FailedRouters: []int{5, 9},
+	}
+	msg := err.Error()
+	for _, want := range []string{"No_PG", "50000 cycles", "40 packets", "pkt#7", "partition", "and 39 more"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("deadlock error missing %q:\n%s", want, msg)
+		}
+	}
+	var de *DeadlockError
+	if !errors.As(error(err), &de) {
+		t.Fatal("errors.As failed on *DeadlockError")
+	}
+}
+
+func TestReportAccounting(t *testing.T) {
+	var r Report
+	r.Injected[CorruptLink] = 5
+	r.Triggered[CorruptLink] = 4
+	r.Injected[HardFail] = 2
+	r.Triggered[HardFail] = 2
+	r.PacketsInjected = 100
+	r.PacketsDelivered = 100
+	if r.InjectedTotal() != 7 || r.TriggeredTotal() != 6 {
+		t.Fatal("bad totals")
+	}
+	if !r.Recovered() {
+		t.Fatal("report with no losses should count as recovered")
+	}
+	if r.DeliveredFraction() != 1.0 {
+		t.Fatalf("delivered fraction = %v, want 1", r.DeliveredFraction())
+	}
+	r.PacketsLost = 1
+	r.PacketsDelivered = 99
+	if r.Recovered() {
+		t.Fatal("lost packet should break Recovered")
+	}
+	if got := r.DeliveredFraction(); got != 0.99 {
+		t.Fatalf("delivered fraction = %v, want 0.99", got)
+	}
+	if !strings.Contains(r.String(), "lost 1") {
+		t.Fatalf("summary missing loss: %s", r.String())
+	}
+}

@@ -118,6 +118,15 @@ type Packet struct {
 	// Hops is incremented once per router traversed (normal pipeline or
 	// bypass), for hop-count statistics.
 	Hops int
+	// Retries counts end-to-end retransmissions of this payload: 0 for an
+	// original transmission, k for the k-th retransmit clone issued by the
+	// fault-recovery machinery.
+	Retries int
+	// Poisoned marks that a flit of this packet failed its checksum
+	// verification. A poisoned packet keeps traversing the network so
+	// flow-control state stays consistent, but is dropped at its
+	// destination NI instead of delivered; the source retransmits.
+	Poisoned bool
 }
 
 // String implements fmt.Stringer.
@@ -136,7 +145,41 @@ type Flit struct {
 	// VC is the virtual channel the flit currently occupies/was allocated
 	// at the downstream input port. It is rewritten hop by hop.
 	VC int
+	// Checksum protects the flit's stable identity (packet ID, endpoints,
+	// sequence) against transient link faults. It is set at serialisation
+	// and verified at every hop; a mismatch poisons the packet for
+	// end-to-end retransmission. The VC field is excluded: it is legally
+	// rewritten hop by hop.
+	Checksum uint32
 }
+
+// Checksum computes the flit's reference checksum (FNV-1a over the
+// packet ID, endpoints and flit sequence).
+func (f *Flit) ComputeChecksum() uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= uint32(v & 0xff)
+			h *= prime32
+			v >>= 8
+		}
+	}
+	mix(f.Packet.ID)
+	mix(uint64(uint32(f.Packet.Src))<<32 | uint64(uint32(f.Packet.Dst)))
+	mix(uint64(f.Seq)<<8 | uint64(f.Kind))
+	return h
+}
+
+// ChecksumOK reports whether the stored checksum matches the flit's
+// contents.
+func (f *Flit) ChecksumOK() bool { return f.Checksum == f.ComputeChecksum() }
+
+// Corrupt damages the stored checksum, modelling a transient link fault.
+func (f *Flit) Corrupt() { f.Checksum ^= 0xdeadbeef }
 
 // String implements fmt.Stringer.
 func (f *Flit) String() string {
@@ -160,6 +203,22 @@ func Flits(p *Packet) []*Flit {
 			k = Tail
 		}
 		out[i] = &Flit{Packet: p, Kind: k, Seq: i}
+		out[i].Checksum = out[i].ComputeChecksum()
 	}
 	return out
+}
+
+// Retransmit builds the next end-to-end retransmission of a poisoned
+// packet: same endpoints, class and length under a fresh identity (the
+// caller supplies the new unique ID), with the retry count advanced.
+func Retransmit(p *Packet, id uint64) *Packet {
+	return &Packet{
+		ID:      id,
+		Src:     p.Src,
+		Dst:     p.Dst,
+		Class:   p.Class,
+		Length:  p.Length,
+		Payload: p.Payload,
+		Retries: p.Retries + 1,
+	}
 }

@@ -4,16 +4,18 @@ import (
 	"fmt"
 	"sort"
 
+	"nord/internal/fault"
 	"nord/internal/flit"
 	"nord/internal/stats"
 	"nord/internal/topology"
 )
 
-// watchdogLimit is the number of consecutive cycles without any flit
-// movement (while packets are in flight) after which the network declares
-// itself deadlocked. Wakeup latencies are tens of cycles, so tens of
-// thousands of stalled cycles indicate a protocol bug.
-const watchdogLimit = 50_000
+// defaultWatchdogLimit is the number of consecutive cycles without any
+// flit movement (while packets are in flight) after which the network
+// declares itself deadlocked. Wakeup latencies are tens of cycles, so tens
+// of thousands of stalled cycles indicate a protocol bug (or, with fault
+// injection active, a partition). Params.WatchdogLimit overrides it.
+const defaultWatchdogLimit = 50_000
 
 // creditEvt is a pending credit return, applied at the end of the cycle
 // (one-cycle credit propagation).
@@ -50,6 +52,12 @@ type Network struct {
 	lastProgress   uint64
 	progressed     bool
 	nextPktID      uint64
+
+	// faults is the attached fault injector (nil when no schedule is
+	// armed); err latches the first structured error — once set, every
+	// subsequent Step returns it without advancing the simulation.
+	faults *faultInjector
+	err    error
 
 	// candScratch is reused by route computation to avoid per-decision
 	// allocations (the network is single-threaded; each decision is
@@ -182,14 +190,59 @@ func (n *Network) Inject(p *flit.Packet) bool {
 // RouterPowerOn reports whether router id is powered on (PG deasserted).
 func (n *Network) RouterPowerOn(id int) bool { return n.routers[id].on() }
 
-// RouterStateName returns "on", "off" or "waking" for router id.
-func (n *Network) RouterStateName(id int) string { return n.routers[id].state.String() }
+// RouterStateName returns "on", "off", "waking" or "failed" for router id.
+func (n *Network) RouterStateName(id int) string {
+	if n.routers[id].hardFailed {
+		return "failed"
+	}
+	return n.routers[id].state.String()
+}
 
-// Tick advances the network by one cycle.
+// fail latches the first structured error; the simulation stops advancing
+// once set. Later failures are dropped: the first one is the cause.
+func (n *Network) fail(err error) {
+	if n.err == nil {
+		n.err = err
+	}
+}
+
+// Err returns the latched error, if any.
+func (n *Network) Err() error { return n.err }
+
+// watchdogLimit returns the configured no-progress horizon.
+func (n *Network) watchdogLimit() uint64 {
+	if n.p.WatchdogLimit > 0 {
+		return uint64(n.p.WatchdogLimit)
+	}
+	return defaultWatchdogLimit
+}
+
+// Tick advances the network by one cycle, panicking on a structured
+// error. Prefer Step in code that can propagate errors; Tick keeps the
+// legacy call sites (and the many tests built on them) working with the
+// same crash-on-corruption semantics they had before.
 func (n *Network) Tick() {
+	if err := n.Step(); err != nil {
+		panic(err)
+	}
+}
+
+// Step advances the network by one cycle. It returns a structured error
+// (*fault.DeadlockError, *fault.ProtocolError) instead of panicking when
+// the network deadlocks or a flow-control invariant breaks; once an error
+// is returned the network is frozen and every later Step returns the same
+// error.
+func (n *Network) Step() error {
+	if n.err != nil {
+		return n.err
+	}
 	n.cycle++
 	n.progressed = false
 
+	// 0. Fault injection: due events, hard-fail activation, retransmits.
+	if n.faults != nil {
+		n.faults.tick(n)
+	}
 	// 1. Link traversal completion: deliver flits whose LT finished.
 	n.deliverLinks()
 	// 2. NI wire deliveries (ejections and local-port injections).
@@ -234,10 +287,17 @@ func (n *Network) Tick() {
 	n.tickStats()
 	if n.progressed {
 		n.lastProgress = n.cycle
-	} else if n.inFlight > 0 && n.cycle-n.lastProgress > watchdogLimit {
-		panic(fmt.Sprintf("noc: no progress for %d cycles with %d packets in flight (deadlock?) design=%v cycle=%d",
-			watchdogLimit, n.inFlight, n.p.Design, n.cycle))
+	} else if n.inFlight > 0 && n.cycle-n.lastProgress > n.watchdogLimit() {
+		n.fail(&fault.DeadlockError{
+			Design:        n.p.Design.String(),
+			Cycle:         n.cycle,
+			StallCycles:   n.watchdogLimit(),
+			InFlight:      n.inFlight,
+			Packets:       n.collectInFlightDump(fault.MaxDumpPackets),
+			FailedRouters: n.HardFailedRouters(),
+		})
 	}
+	return n.err
 }
 
 // Run advances the network by the given number of cycles.
@@ -247,19 +307,90 @@ func (n *Network) Run(cycles int) {
 	}
 }
 
-// Drain runs until all in-flight packets are delivered or maxCycles pass;
-// it returns an error in the latter case.
+// Drain runs until all in-flight packets are delivered (and, with faults
+// armed, all pending retransmits resolved) or maxCycles pass; it returns
+// an error in the latter case and propagates structured Step errors.
 func (n *Network) Drain(maxCycles int) error {
 	for i := 0; i < maxCycles; i++ {
-		if n.inFlight == 0 {
+		if n.Quiescent() {
 			return nil
 		}
-		n.Tick()
+		if err := n.Step(); err != nil {
+			return err
+		}
 	}
-	if n.inFlight != 0 {
+	if !n.Quiescent() {
 		return fmt.Errorf("noc: %d packets still in flight after %d drain cycles", n.inFlight, maxCycles)
 	}
 	return nil
+}
+
+// collectInFlightDump walks every place a flit or queued packet can sit
+// (NI queues and latches, router buffers and pipeline registers, links,
+// the retransmit queue) and returns a bounded, deduplicated snapshot of
+// stuck packets for the DeadlockError.
+func (n *Network) collectInFlightDump(limit int) []fault.PacketDump {
+	var out []fault.PacketDump
+	seen := map[uint64]bool{}
+	add := func(p *flit.Packet, where string) {
+		if p == nil || seen[p.ID] || len(out) >= limit {
+			return
+		}
+		seen[p.ID] = true
+		out = append(out, fault.PacketDump{
+			ID: p.ID, Src: p.Src, Dst: p.Dst,
+			Class: p.Class.String(), Length: p.Length,
+			AgeCycle: n.cycle - p.InjectTime,
+			Where:    where,
+		})
+	}
+	addFlit := func(f *flit.Flit, where string) {
+		if f != nil {
+			add(f.Packet, where)
+		}
+	}
+	for id, ni := range n.nis {
+		for _, q := range ni.injQ {
+			for _, p := range q {
+				add(p, fmt.Sprintf("NI %d inject queue", id))
+			}
+		}
+		if len(ni.curFlits) > 0 {
+			add(ni.curFlits[0].Packet, fmt.Sprintf("NI %d injecting", id))
+		}
+		addFlit(ni.injectOut, fmt.Sprintf("NI %d ring-inject register", id))
+		for v := range ni.latch {
+			addFlit(ni.latch[v], fmt.Sprintf("NI %d bypass latch vc %d", id, v))
+		}
+		for _, tf := range ni.toLocal {
+			addFlit(tf.f, fmt.Sprintf("NI %d local wire", id))
+		}
+	}
+	for id, r := range n.routers {
+		for d := range r.in {
+			for v := range r.in[d] {
+				for _, f := range r.in[d][v].buf {
+					addFlit(f, fmt.Sprintf("router %d port %v vc %d", id, topology.Dir(d), v))
+				}
+			}
+		}
+		for _, sf := range r.stReg {
+			addFlit(sf, fmt.Sprintf("router %d ST register", id))
+		}
+	}
+	for id := range n.links {
+		for d := 0; d < 4; d++ {
+			for _, tf := range n.links[id][d] {
+				addFlit(tf.f, fmt.Sprintf("link %d->%v", id, topology.Dir(d)))
+			}
+		}
+	}
+	if n.faults != nil {
+		for _, e := range n.faults.retryQ {
+			add(e.pkt, "retransmit queue")
+		}
+	}
+	return out
 }
 
 // deliverLinks completes link traversal for due flits.
@@ -289,9 +420,14 @@ func (n *Network) deliverLinks() {
 func (n *Network) deliverFlit(from int, dir topology.Dir, f *flit.Flit) {
 	to, ok := n.mesh.Neighbor(from, dir)
 	if !ok {
-		panic(fmt.Sprintf("noc: flit sent off the edge of the mesh from %d dir %v", from, dir))
+		n.fail(&fault.ProtocolError{Cycle: n.cycle, Router: from,
+			Msg: fmt.Sprintf("flit sent off the edge of the mesh on dir %v", dir)})
+		return
 	}
 	n.progressed = true
+	if n.faults != nil {
+		n.faults.verify(n, f)
+	}
 	r := n.routers[to]
 	inPort := dir.Opposite()
 	if n.p.Design == NoRD && inPort == n.ring.InDir(to) {
@@ -301,7 +437,9 @@ func (n *Network) deliverFlit(from int, dir topology.Dir, f *flit.Flit) {
 		}
 	}
 	if !r.on() {
-		panic(fmt.Sprintf("noc: flit delivered to gated-off router %d on non-bypass port %v", to, inPort))
+		n.fail(&fault.ProtocolError{Cycle: n.cycle, Router: to,
+			Msg: fmt.Sprintf("flit delivered to gated-off router on non-bypass port %v", inPort)})
+		return
 	}
 	if f.Kind.IsHead() {
 		f.Packet.Hops++
@@ -321,7 +459,11 @@ func (n *Network) sendLink(id int, dir topology.Dir, f *flit.Flit) {
 // from Bypass Inport to Bypass Outport within the arrival cycle).
 func (n *Network) sendLinkDelay(id int, dir topology.Dir, f *flit.Flit, delay uint64) {
 	if dir >= topology.Local {
-		panic("noc: sendLink on local port")
+		n.fail(&fault.ProtocolError{Cycle: n.cycle, Router: id, Msg: "sendLink on local port"})
+		return
+	}
+	if n.faults != nil {
+		n.faults.maybeCorrupt(n, id, dir, f)
 	}
 	n.links[id][dir] = append(n.links[id][dir], timedFlit{f: f, at: n.cycle + delay})
 	n.progressed = true
@@ -348,7 +490,8 @@ func (n *Network) applyCredit(ev creditEvt) {
 	}
 	nb, ok := n.mesh.Neighbor(ev.router, ev.port)
 	if !ok {
-		panic("noc: credit return off the mesh")
+		n.fail(&fault.ProtocolError{Cycle: n.cycle, Router: ev.router, Msg: "credit return off the mesh"})
+		return
 	}
 	n.routers[nb].outCredits[ev.port.Opposite()][ev.vc]++
 }
@@ -360,10 +503,19 @@ func (n *Network) addRingUpstreamCredits(id, vc, add int) {
 	n.routers[pred].outCredits[n.ring.OutDir(pred)][vc] += add
 }
 
-// deliverPacket finalises a delivered packet (tail ejected).
+// deliverPacket finalises a delivered packet (tail ejected). Poisoned
+// packets are dropped here — the destination NI rejects the corrupted
+// payload and the source's retransmit machinery takes over.
 func (n *Network) deliverPacket(p *flit.Packet) {
 	n.inFlight--
 	n.progressed = true
+	if p.Poisoned && n.faults != nil {
+		n.faults.dropPoisoned(n, p)
+		return
+	}
+	if n.faults != nil {
+		n.faults.report.PacketsDelivered++
+	}
 	if n.collecting && p.InjectTime >= n.measureFrom {
 		n.col.PacketsDelivered++
 		n.col.FlitsDelivered += uint64(p.Length)
@@ -399,8 +551,12 @@ func (n *Network) tickStats() {
 
 // Statistic note helpers, gated on measurement.
 
-func (n *Network) notePacketInjected() {
+func (n *Network) notePacketInjected(p *flit.Packet) {
 	n.inFlight++
+	if n.faults != nil && p.Retries == 0 {
+		// Unique payloads only: retransmit clones carry the same payload.
+		n.faults.report.PacketsInjected++
+	}
 	if n.collecting {
 		n.col.PacketsInjected++
 	}
@@ -538,6 +694,7 @@ type RouterReport struct {
 	FlitsRouted  uint64 // SA grants (normal pipeline traversals)
 	BypassFlits  uint64 // flits forwarded through the NI bypass
 	PerfCentric  bool
+	HardFailed   bool // permanently failed by fault injection
 }
 
 // PerRouterReports returns per-router statistics for spatial analysis
@@ -559,6 +716,7 @@ func (n *Network) PerRouterReports() []RouterReport {
 			FlitsRouted:  r.statSAGrants,
 			BypassFlits:  r.statBypassFlits,
 			PerfCentric:  perf[id],
+			HardFailed:   r.hardFailed,
 		}
 		if total > 0 {
 			rep.OffFraction = float64(r.statOffCycles) / float64(total)

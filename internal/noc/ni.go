@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"nord/internal/fault"
 	"nord/internal/flit"
 	"nord/internal/stats"
 	"nord/internal/topology"
@@ -124,7 +125,7 @@ func (ni *NI) inject(p *flit.Packet) bool {
 	}
 	p.InjectTime = ni.net.cycle
 	ni.injQ[c] = append(ni.injQ[c], p)
-	ni.net.notePacketInjected()
+	ni.net.notePacketInjected(p)
 	return true
 }
 
@@ -191,7 +192,9 @@ func (ni *NI) deliverBypass(f *flit.Flit) {
 		return
 	}
 	if ni.latch[f.VC] != nil {
-		panic("noc: bypass latch overrun (ring credit protocol violated)")
+		ni.net.fail(&fault.ProtocolError{Cycle: ni.net.cycle, Router: ni.id,
+			Msg: "bypass latch overrun (ring credit protocol violated)"})
+		return
 	}
 	if ni.net.p.AggressiveBypass && ni.tryAggressiveForward(r, f) {
 		return
@@ -470,7 +473,9 @@ func (ni *NI) forwardFromLatch(r *Router, v int) bool {
 	}
 	out := ni.fwdOutVC[v]
 	if out < 0 {
-		panic("noc: bypass body flit without an allocated downstream VC")
+		ni.net.fail(&fault.ProtocolError{Cycle: ni.net.cycle, Router: ni.id,
+			Msg: "bypass body flit without an allocated downstream VC"})
+		return false
 	}
 	if r.outCredits[ringOut][out] <= 0 {
 		return false

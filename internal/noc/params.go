@@ -129,6 +129,11 @@ type Params struct {
 	// ReclassifyPeriod is the re-ranking interval in cycles for
 	// DynamicClassify (default 2048).
 	ReclassifyPeriod int
+	// WatchdogLimit is the no-progress horizon (cycles) after which the
+	// deadlock watchdog raises a DeadlockError; 0 selects the default
+	// (50k cycles). Fault-injection tests lower it so partitioned runs
+	// fail fast.
+	WatchdogLimit int
 }
 
 // DefaultParams returns the paper's Table 1 configuration for a given
@@ -199,6 +204,9 @@ func (p *Params) Validate() error {
 	}
 	if p.DynamicClassify && p.ReclassifyPeriod < 1 {
 		return fmt.Errorf("noc: dynamic classification needs a positive reclassify period")
+	}
+	if p.WatchdogLimit < 0 {
+		return fmt.Errorf("noc: watchdog limit must be non-negative, got %d", p.WatchdogLimit)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"nord/internal/fault"
 	"nord/internal/flit"
 	"nord/internal/topology"
 )
@@ -30,12 +31,24 @@ func (r *Router) tickController() {
 			r.gateOff()
 		}
 	case powerOff:
-		if r.wakeRequested() {
-			r.state = powerWaking
-			r.wakeCounter = p.WakeupLatency
-			r.statWakeups++
-			n.noteWakeup()
+		if r.hardFailed {
+			// A hard-failed router never wakes: it behaves as permanently
+			// power-gated. Under NoRD its node stays reachable over the
+			// bypass ring; under conventional designs neighbors stall.
+			return
 		}
+		if !r.wakeRequested() {
+			r.wakeWantSince = 0
+			r.wakeSwallowed = false
+			return
+		}
+		if r.faultBlocksWake() {
+			return
+		}
+		r.state = powerWaking
+		r.wakeCounter = p.WakeupLatency
+		r.statWakeups++
+		n.noteWakeup()
 	case powerWaking:
 		r.wakeCounter--
 		if r.wakeCounter <= 0 {
@@ -239,7 +252,9 @@ func (ni *NI) onRouterOff() {
 	if len(ni.curFlits) == 0 || ni.curFlits[0].Seq != 0 {
 		// Flits already entered the router: the router could not have
 		// been empty, so this cannot happen.
-		panic("noc: router gated off mid local injection")
+		ni.net.fail(&fault.ProtocolError{Cycle: ni.net.cycle, Router: ni.id,
+			Msg: "router gated off mid local injection"})
+		return
 	}
 	pkt := ni.curFlits[0].Packet
 	c := int(pkt.Class)

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"nord/internal/fault"
 	"nord/internal/flit"
 	"nord/internal/topology"
 )
@@ -110,6 +111,23 @@ type Router struct {
 	state       powerState
 	wakeCounter int
 	emptyRun    int
+
+	// Fault-injection state. hardFailed pins the router off permanently
+	// (it behaves as power-gated forever; under NoRD its node survives on
+	// the bypass ring). failPending defers a scheduled hard-fail until the
+	// datapath drains. wakeBlocked models a stuck PG controller that
+	// refuses wakeups; wakeSwallowed a single lost wakeup handshake. Both
+	// are recovered by the power-gating watchdog, which force-wakes the
+	// router once demand has persisted past the timeout (wakeWantSince
+	// tracks the demand onset). dropWakeups is the number of armed
+	// lost-handshake events; stuckCounted dedups the triggered accounting.
+	hardFailed    bool
+	failPending   bool
+	wakeBlocked   bool
+	wakeSwallowed bool
+	stuckCounted  bool
+	dropWakeups   int
+	wakeWantSince uint64
 
 	// bypassRemaining[vc] > 0 marks a packet mid-flight through this
 	// (gated-off or just-woken) router's NI bypass on ring VC vc: its
@@ -330,7 +348,9 @@ func (r *Router) tickSA() {
 				// the departed tail; it starts route computation now.
 				if h := vc.head(); h != nil {
 					if !h.Kind.IsHead() {
-						panic("noc: non-head flit follows a tail in a VC buffer")
+						r.net.fail(&fault.ProtocolError{Cycle: r.net.cycle, Router: r.id,
+							Msg: "non-head flit follows a tail in a VC buffer"})
+						continue
 					}
 					r.setPhase(vc, r.freshHeadPhase())
 				}
@@ -454,7 +474,9 @@ func (r *Router) tickRC() {
 func (r *Router) acceptFlit(d topology.Dir, f *flit.Flit) {
 	vc := r.in[d][f.VC]
 	if len(vc.buf) >= r.net.p.BufferDepth {
-		panic(fmt.Sprintf("noc: buffer overflow at router %d port %v vc %d (credit protocol violated)", r.id, d, f.VC))
+		r.net.fail(&fault.ProtocolError{Cycle: r.net.cycle, Router: r.id,
+			Msg: fmt.Sprintf("buffer overflow at port %v vc %d (credit protocol violated)", d, f.VC)})
+		return
 	}
 	vc.push(f)
 	r.bufFlits++
@@ -464,7 +486,9 @@ func (r *Router) acceptFlit(d topology.Dir, f *flit.Flit) {
 	// upstream freed the output VC at its tail).
 	if f.Kind.IsHead() && len(vc.buf) == 1 {
 		if vc.phase != vcIdle {
-			panic(fmt.Sprintf("noc: head flit at front of busy VC at router %d port %v vc %d phase %d", r.id, d, f.VC, vc.phase))
+			r.net.fail(&fault.ProtocolError{Cycle: r.net.cycle, Router: r.id,
+				Msg: fmt.Sprintf("head flit at front of busy VC at port %v vc %d phase %d", d, f.VC, vc.phase)})
+			return
 		}
 		r.setPhase(vc, r.freshHeadPhase())
 	}

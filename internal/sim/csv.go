@@ -4,7 +4,14 @@ import (
 	"encoding/csv"
 	"io"
 	"strconv"
+	"strings"
 )
+
+// firstLine flattens a (possibly multi-line) error message to its first
+// line so CSV rows stay one physical line per record.
+func firstLine(s string) string {
+	return strings.SplitN(s, "\n", 2)[0]
+}
 
 // WriteSweepCSV emits load-sweep points as CSV (design, rate, latency,
 // power, throughput, saturated) for external plotting.
@@ -111,6 +118,7 @@ func ResultCSVHeader() []string {
 		"avg_latency_cycles", "avg_hops", "throughput_fpc",
 		"idle_fraction", "off_fraction", "wakeups",
 		"noc_energy_j", "avg_power_w",
+		"faults_triggered", "retransmits", "packets_lost", "routers_lost", "error",
 	}
 }
 
@@ -118,11 +126,47 @@ func ResultCSVHeader() []string {
 // ResultCSVHeader.
 func ResultCSVRecord(r Result) []string {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	triggered, retx, lost, routersLost := 0, uint64(0), uint64(0), 0
+	if r.Fault != nil {
+		triggered = r.Fault.TriggeredTotal()
+		retx = r.Fault.Retransmits
+		lost = r.Fault.PacketsLost
+		routersLost = r.Fault.RoutersLost
+	}
 	return []string{
 		r.Design.String(), r.Label,
 		strconv.Itoa(r.Nodes), strconv.FormatUint(r.Cycles, 10), strconv.FormatUint(r.ExecTime, 10),
 		f(r.AvgPacketLatency), f(r.AvgHops), f(r.Throughput),
 		f(r.IdleFraction), f(r.OffFraction), strconv.FormatUint(r.Wakeups, 10),
 		f(r.Energy.Total()), f(r.AvgPowerW),
+		strconv.Itoa(triggered), strconv.FormatUint(retx, 10),
+		strconv.FormatUint(lost, 10), strconv.Itoa(routersLost), firstLine(r.Err),
 	}
+}
+
+// WriteDegradationCSV emits the graceful-degradation sweep as CSV.
+func WriteDegradationCSV(w io.Writer, pts []DegradationPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"design", "hard_fails", "delivered_fraction", "avg_latency_cycles",
+		"retransmits", "watchdog_wakeups", "packets_lost", "error",
+	}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			p.Design.String(),
+			strconv.Itoa(p.HardFails),
+			strconv.FormatFloat(p.Delivered, 'f', 5, 64),
+			strconv.FormatFloat(p.AvgLatency, 'f', 3, 64),
+			strconv.FormatUint(p.Retransmits, 10),
+			strconv.FormatUint(p.Watchdog, 10),
+			strconv.FormatUint(p.PacketsLost, 10),
+			firstLine(p.Err),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

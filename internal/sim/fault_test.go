@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"nord/internal/fault"
+	"nord/internal/noc"
+)
+
+func TestRunSyntheticWithFaults(t *testing.T) {
+	r, err := RunSynthetic(SynthConfig{
+		Design: noc.NoRD, Width: 4, Height: 4,
+		Rate: 0.05, Warmup: 1_000, Measure: 4_000, Seed: 2,
+		Faults: &fault.Config{Seed: 5, CorruptLinks: 8, DropWakeups: 2},
+	})
+	if err != nil {
+		t.Fatalf("transient faults must be survivable: %v", err)
+	}
+	if r.Err != "" {
+		t.Fatalf("unexpected run error %q", r.Err)
+	}
+	fr := r.Fault
+	if fr == nil {
+		t.Fatal("faulted run must carry a fault report")
+	}
+	if fr.InjectedTotal() != 10 {
+		t.Fatalf("injected %d events, want 10", fr.InjectedTotal())
+	}
+	if fr.PacketsDelivered+fr.PacketsLost != fr.PacketsInjected {
+		t.Fatalf("conservation broken: %d + %d != %d",
+			fr.PacketsDelivered, fr.PacketsLost, fr.PacketsInjected)
+	}
+}
+
+func TestRunSyntheticHardFailConvReportsDeadlock(t *testing.T) {
+	r, err := RunSynthetic(SynthConfig{
+		Design: noc.ConvPG, Width: 4, Height: 4,
+		Rate: 0.05, Warmup: 500, Measure: 10_000, Seed: 2,
+		WatchdogLimit: 2_000, DrainCycles: 10_000,
+		Faults: &fault.Config{Seed: 3, HardFails: 2},
+	})
+	if err == nil {
+		t.Fatal("hard-failed routers must wedge a conventional design")
+	}
+	var de *fault.DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeadlockError, got %T: %v", err, err)
+	}
+	if r.Err == "" || !strings.Contains(r.Err, "deadlock") {
+		t.Fatalf("result should record the failure, got %q", r.Err)
+	}
+	if r.Fault == nil || r.Fault.RoutersLost == 0 {
+		t.Fatal("result should still carry the fault report of the partial run")
+	}
+}
+
+func TestDegradationSweepSmall(t *testing.T) {
+	c := DegradationConfig{
+		Width: 4, Height: 4, Measure: 4_000, Seed: 3,
+		MaxFails: 2, CorruptLinks: 4,
+		Designs:       []noc.Design{noc.NoPG, noc.NoRD},
+		WatchdogLimit: 2_000,
+	}
+	pts, err := DegradationSweep(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("want 2 designs x 3 fail counts = 6 points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		switch {
+		case p.Design == noc.NoRD:
+			if p.Err != "" {
+				t.Fatalf("NoRD cell (%d fails) failed: %s", p.HardFails, p.Err)
+			}
+			if p.Delivered < 0.99 {
+				t.Fatalf("NoRD delivered %.4f with %d fails, want >= 0.99", p.Delivered, p.HardFails)
+			}
+		case p.HardFails == 0:
+			if p.Err != "" {
+				t.Fatalf("fault-free %v cell failed: %s", p.Design, p.Err)
+			}
+		default:
+			// Conventional designs partition; the cell must record a
+			// structured error rather than abort the sweep.
+			if p.Err == "" {
+				t.Fatalf("%v with %d hard-fails should report a failure", p.Design, p.HardFails)
+			}
+			if !strings.Contains(p.Err, "deadlock") {
+				t.Fatalf("expected a deadlock report, got %q", p.Err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteDegradationCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(pts)+1 {
+		t.Fatalf("CSV has %d lines, want %d", lines, len(pts)+1)
+	}
+	table := FormatDegradation(pts)
+	if !strings.Contains(table, "NoRD") || !strings.Contains(table, "delivered") {
+		t.Fatalf("table missing expected columns:\n%s", table)
+	}
+}
+
+func TestDegradationSweepConfigErrors(t *testing.T) {
+	if _, err := DegradationSweep(DegradationConfig{Pattern: "bogus"}); err == nil {
+		t.Error("bad pattern should abort the sweep")
+	}
+	if _, err := DegradationSweep(DegradationConfig{MaxFails: -1}); err == nil {
+		t.Error("negative MaxFails should abort the sweep")
+	}
+}
+
+// TestParallelSweepSurvivesFaultedRuns drives the resilient parallel
+// path directly: one run panics (legacy Tick crash), the others finish.
+func TestParallelSweepSurvivesFaultedRuns(t *testing.T) {
+	res, err := runGuarded(func() (Result, error) {
+		panic(errors.New("synthetic crash"))
+	})
+	if err == nil || res.Err == "" {
+		t.Fatal("panic must surface as an error and be recorded on the result")
+	}
+	if !runtimeFailure(err) {
+		t.Fatal("recovered panics must classify as runtime failures")
+	}
+	if runtimeFailure(errors.New("flag: bad pattern")) {
+		t.Fatal("plain config errors must not classify as runtime failures")
+	}
+	for _, mk := range []error{
+		&fault.DeadlockError{Design: "x"},
+		&fault.ProtocolError{Cycle: 1, Router: -1, Msg: "m"},
+		&fault.UnrecoverableError{Cycle: 1},
+	} {
+		if !runtimeFailure(mk) {
+			t.Fatalf("%T must classify as a runtime failure", mk)
+		}
+	}
+}

@@ -107,7 +107,10 @@ func Fig3IdlePeriods(scale float64, seed int64) ([]IdleRow, error) {
 // Fig6Tradeoff returns the Figure 6 curve for the paper's 4x4 mesh and
 // the selected performance-centric router set.
 func Fig6Tradeoff() ([]topology.TradeoffPoint, []int, error) {
-	mesh := topology.MustMesh(4, 4)
+	mesh, err := topology.NewMesh(4, 4)
+	if err != nil {
+		return nil, nil, err
+	}
 	ring, err := topology.NewRing(mesh)
 	if err != nil {
 		return nil, nil, err
@@ -330,6 +333,9 @@ type SweepPoint struct {
 	PowerW     float64
 	Throughput float64
 	Saturated  bool // latency beyond the saturation criterion
+	// Err records a failed point (deadlock, protocol violation, panic) in
+	// a resilient parallel sweep; the other fields are zero when set.
+	Err string
 }
 
 // satLatency is the latency at which a sweep point is labelled saturated.

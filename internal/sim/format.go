@@ -34,6 +34,15 @@ func FormatResult(r Result) string {
 	if r.L1HitRate > 0 {
 		fmt.Fprintf(&b, "L1 hit rate      %.1f%%\n", 100*r.L1HitRate)
 	}
+	if fr := r.Fault; fr != nil {
+		fmt.Fprintf(&b, "faults           %d injected, %d triggered (%d routers lost)\n",
+			fr.InjectedTotal(), fr.TriggeredTotal(), fr.RoutersLost)
+		fmt.Fprintf(&b, "fault recovery   %.2f%% delivered; %d retransmits, %d poisoned, %d watchdog wakeups, %d lost\n",
+			100*fr.DeliveredFraction(), fr.Retransmits, fr.PacketsPoisoned, fr.WatchdogWakeups, fr.PacketsLost)
+	}
+	if r.Err != "" {
+		fmt.Fprintf(&b, "run error        %s\n", strings.SplitN(r.Err, "\n", 2)[0])
+	}
 	e := r.Energy
 	fmt.Fprintf(&b, "NoC energy       %.3e J (avg %.2f W)\n", e.Total(), r.AvgPowerW)
 	fmt.Fprintf(&b, "  router static  %.3e J\n", e.RouterStatic)
@@ -55,9 +64,13 @@ func FormatPerRouter(r Result) string {
 		if rr.PerfCentric {
 			star = "*"
 		}
-		fmt.Fprintf(&b, "%-3d%s (%d,%d) %7.1f%% %7.1f%% %8d %10d %10d\n",
+		failed := ""
+		if rr.HardFailed {
+			failed = "  FAILED"
+		}
+		fmt.Fprintf(&b, "%-3d%s (%d,%d) %7.1f%% %7.1f%% %8d %10d %10d%s\n",
 			rr.ID, star, rr.X, rr.Y, 100*rr.IdleFraction, 100*rr.OffFraction,
-			rr.Wakeups, rr.FlitsRouted, rr.BypassFlits)
+			rr.Wakeups, rr.FlitsRouted, rr.BypassFlits, failed)
 	}
 	return b.String()
 }

@@ -1,17 +1,58 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"nord/internal/fault"
 	"nord/internal/noc"
 )
+
+// panicFailure wraps a recovered panic so sweeps can classify it as a
+// runtime failure (recorded per-point) rather than a setup error.
+type panicFailure struct{ cause error }
+
+func (p *panicFailure) Error() string { return "sim: run panicked: " + p.cause.Error() }
+func (p *panicFailure) Unwrap() error { return p.cause }
+
+// runGuarded executes one simulation, converting a panic (a legacy
+// Tick-path crash) into an error so a single bad run cannot take down a
+// whole worker pool mid-sweep.
+func runGuarded(run func() (Result, error)) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			cause, ok := r.(error)
+			if !ok {
+				cause = fmt.Errorf("%v", r)
+			}
+			err = &panicFailure{cause: cause}
+			res.Err = err.Error()
+		}
+	}()
+	return run()
+}
+
+// runtimeFailure reports whether err is a structured simulation failure
+// (deadlock, protocol violation, unrecoverable fault, or a recovered
+// panic) as opposed to a configuration error. Resilient sweeps record
+// runtime failures in the affected cell and keep going; configuration
+// errors abort the whole sweep, since every cell would fail identically.
+func runtimeFailure(err error) bool {
+	var de *fault.DeadlockError
+	var pe *fault.ProtocolError
+	var ue *fault.UnrecoverableError
+	var pf *panicFailure
+	return errors.As(err, &de) || errors.As(err, &pe) || errors.As(err, &ue) || errors.As(err, &pf)
+}
 
 // ParallelLoadSweep is LoadSweep with the (design, rate) points executed
 // concurrently across CPU cores. Each simulation is single-threaded and
 // fully independent, so the sweep parallelises embarrassingly; results
-// are returned in the same deterministic order as LoadSweep.
+// are returned in the same deterministic order as LoadSweep. A failed
+// point (deadlock, protocol violation, panic) is recorded in its
+// SweepPoint's Err field and the sweep keeps going.
 func ParallelLoadSweep(w, h int, pattern string, rates []float64, measure int, seed int64) ([]SweepPoint, error) {
 	type job struct {
 		idx    int
@@ -34,22 +75,25 @@ func ParallelLoadSweep(w, h int, pattern string, rates []float64, measure int, s
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			r, err := RunSynthetic(SynthConfig{
-				Design: j.design, Width: w, Height: h, Pattern: pattern,
-				Rate: j.rate, Measure: measure, Seed: seed,
+			r, err := runGuarded(func() (Result, error) {
+				return RunSynthetic(SynthConfig{
+					Design: j.design, Width: w, Height: h, Pattern: pattern,
+					Rate: j.rate, Measure: measure, Seed: seed,
+				})
 			})
-			if err != nil {
+			pt := SweepPoint{Design: j.design, Rate: j.rate}
+			switch {
+			case err != nil && runtimeFailure(err):
+				pt.Err = err.Error()
+			case err != nil:
 				errs[j.idx] = err
-				return
+			default:
+				pt.AvgLatency = r.AvgPacketLatency
+				pt.PowerW = r.AvgPowerW
+				pt.Throughput = r.Throughput
+				pt.Saturated = r.AvgPacketLatency > satLatency
 			}
-			out[j.idx] = SweepPoint{
-				Design:     j.design,
-				Rate:       j.rate,
-				AvgLatency: r.AvgPacketLatency,
-				PowerW:     r.AvgPowerW,
-				Throughput: r.Throughput,
-				Saturated:  r.AvgPacketLatency > satLatency,
-			}
+			out[j.idx] = pt
 		}(j)
 	}
 	wg.Wait()
@@ -89,7 +133,17 @@ func ParallelSuite(scale float64, seed int64, progress func(string)) (*SuiteResu
 			if progress != nil {
 				progress(fmt.Sprintf("%s / %s", c.bench, c.design))
 			}
-			r, err := RunWorkload(WorkloadConfig{Design: c.design, Benchmark: c.bench, Scale: scale, Seed: seed})
+			r, err := runGuarded(func() (Result, error) {
+				return RunWorkload(WorkloadConfig{Design: c.design, Benchmark: c.bench, Scale: scale, Seed: seed})
+			})
+			if err != nil && runtimeFailure(err) {
+				// Record the failed cell and keep the rest of the suite
+				// alive; callers see the failure in Result.Err.
+				r.Design = c.design
+				r.Label = c.bench
+				r.Err = fmt.Errorf("sim: %s on %v: %w", c.bench, c.design, err).Error()
+				err = nil
+			}
 			if err != nil {
 				errs[i] = fmt.Errorf("sim: %s on %v: %w", c.bench, c.design, err)
 				return

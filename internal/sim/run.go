@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sync"
 
+	"nord/internal/fault"
 	"nord/internal/flit"
 	"nord/internal/memsys"
 	"nord/internal/noc"
@@ -53,6 +54,13 @@ type Result struct {
 	// Routers holds per-router spatial statistics (utilisation, gating,
 	// bypass usage per mesh position).
 	Routers []noc.RouterReport
+
+	// Fault is the fault-injection recovery accounting, nil when no
+	// schedule was armed.
+	Fault *fault.Report
+	// Err records the structured failure of a faulted or deadlocked run
+	// (empty on success), so sweeps can keep going past failed cells.
+	Err string
 }
 
 // StaticEnergy returns the router static energy (the Figure 8 metric).
@@ -86,6 +94,20 @@ type SynthConfig struct {
 	// DynamicClassify replaces the fixed planner class with demand-ranked
 	// reclassification (the Section 4.4 future-work extension).
 	DynamicClassify bool
+	// Faults optionally arms a generated fault schedule. A zero Horizon
+	// defaults to Warmup+Measure so events spread over the whole run.
+	Faults *fault.Config
+	// FaultSchedule arms an explicit schedule instead (overrides Faults).
+	FaultSchedule *fault.Schedule
+	// FaultOptions tunes the recovery machinery (zero = defaults).
+	FaultOptions noc.FaultOptions
+	// WatchdogLimit overrides the deadlock-watchdog horizon in cycles
+	// (0 = the 50k default); fault tests lower it to fail fast.
+	WatchdogLimit int
+	// DrainCycles bounds the post-measurement drain of faulted runs
+	// (default 50,000), which lets pending retransmissions resolve so the
+	// recovery accounting is complete.
+	DrainCycles int
 }
 
 func (c *SynthConfig) fill() {
@@ -109,6 +131,9 @@ func (c *SynthConfig) fill() {
 	}
 	if c.MisrouteCap == 0 {
 		c.MisrouteCap = -1
+	}
+	if c.DrainCycles == 0 {
+		c.DrainCycles = 50_000
 	}
 }
 
@@ -166,6 +191,7 @@ func (c *SynthConfig) buildParams(classes int) (noc.Params, error) {
 	p.TwoStageRouter = c.TwoStageRouter
 	p.AggressiveBypass = c.AggressiveBypass
 	p.DynamicClassify = c.DynamicClassify
+	p.WatchdogLimit = c.WatchdogLimit
 	if c.TwoStageRouter && p.EarlyWakeupCycles > 1 {
 		// A shorter pipeline hides fewer wakeup cycles (Section 6.8).
 		p.EarlyWakeupCycles = 1
@@ -180,7 +206,13 @@ func (c *SynthConfig) buildParams(classes int) (noc.Params, error) {
 	return p, nil
 }
 
-// RunSynthetic executes one synthetic-traffic simulation.
+// RunSynthetic executes one synthetic-traffic simulation. With a fault
+// schedule armed (Faults or FaultSchedule), the run drains in-flight
+// traffic and pending retransmissions after the measurement window so the
+// recovery accounting in Result.Fault is complete; a structured failure
+// (deadlock, partition, protocol violation) is returned as the error AND
+// recorded in Result.Err alongside whatever statistics were gathered, so
+// sweeps can tabulate failed cells instead of dying.
 func RunSynthetic(c SynthConfig) (Result, error) {
 	c.fill()
 	params, err := c.buildParams(1)
@@ -191,20 +223,48 @@ func RunSynthetic(c SynthConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	sched := c.FaultSchedule
+	if sched == nil && c.Faults != nil {
+		fc := *c.Faults
+		if fc.Horizon == 0 {
+			fc.Horizon = uint64(c.Warmup + c.Measure)
+		}
+		sched, err = fault.Generate(fc, params.NumNodes())
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if sched != nil {
+		if err := net.AttachFaults(sched, c.FaultOptions); err != nil {
+			return Result{}, err
+		}
+	}
 	pattern, err := traffic.PatternByName(c.Pattern)
 	if err != nil {
 		return Result{}, err
 	}
 	inj := traffic.NewSynthetic(net, pattern, c.Rate, c.Seed)
-	for i := 0; i < c.Warmup; i++ {
-		inj.Tick(net.Cycle())
-		net.Tick()
-	}
-	net.BeginMeasurement()
-	for i := 0; i < c.Measure; i++ {
-		inj.Tick(net.Cycle())
-		net.Tick()
-	}
+	runErr := func() error {
+		for i := 0; i < c.Warmup; i++ {
+			inj.Tick(net.Cycle())
+			if err := net.Step(); err != nil {
+				return err
+			}
+		}
+		net.BeginMeasurement()
+		for i := 0; i < c.Measure; i++ {
+			inj.Tick(net.Cycle())
+			if err := net.Step(); err != nil {
+				return err
+			}
+		}
+		if sched != nil {
+			// Let retransmissions and in-flight traffic resolve so every
+			// injected payload is accounted delivered or lost.
+			return net.Drain(c.DrainCycles)
+		}
+		return nil
+	}()
 	net.FinishMeasurement()
 	model, err := power.New(c.Tech)
 	if err != nil {
@@ -212,6 +272,11 @@ func RunSynthetic(c SynthConfig) (Result, error) {
 	}
 	res := collect(net, model)
 	res.Label = fmt.Sprintf("%s@%.3f", c.Pattern, c.Rate)
+	res.Fault = net.FaultReport()
+	if runErr != nil {
+		res.Err = runErr.Error()
+		return res, runErr
+	}
 	return res, nil
 }
 

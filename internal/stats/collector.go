@@ -47,6 +47,15 @@ type NoC struct {
 	// raw signal of NoRD's wakeup metric, used to regenerate Figure 7).
 	NIVCRequests uint64
 
+	// Fault-injection and recovery events (counted whenever a fault
+	// schedule is armed, independent of the measurement window, since
+	// faults land during warmup and drain too).
+	CorruptFlits    uint64 // flits whose checksum a link fault damaged
+	PoisonedPackets uint64 // packets detected corrupt by verification
+	Retransmits     uint64 // end-to-end retransmissions issued
+	WakeupsDropped  uint64 // wakeup handshakes swallowed by faults
+	WatchdogWakeups uint64 // wakeups re-issued by the PG watchdog
+
 	// Idle-period distribution across all routers (datapath emptiness,
 	// independent of whether the design actually gated them off).
 	IdlePeriods *Histogram
