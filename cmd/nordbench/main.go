@@ -1,34 +1,123 @@
 // Command nordbench runs the PARSEC-like suite across the four designs
-// and prints the Figure 8-12 tables, or the Figure 3 idle-period analysis
-// with -idle.
+// and prints the Figure 8-12 tables, the Figure 3 idle-period analysis
+// with -idle, or the tick-kernel regression benchmark with -kernel.
 //
 //	nordbench -scale 0.2          # 20% of the default instruction quota
 //	nordbench -idle               # Section 3.2 idle-period statistics
+//	nordbench -kernel             # write BENCH_kernel.json, fail on alloc regressions
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"nord/internal/noc"
 	"nord/internal/sim"
 )
 
+// startProfiles begins CPU profiling and returns a function that stops it
+// and writes the heap profile; the stop function must run before every
+// process exit (os.Exit skips defers).
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}, nil
+}
+
 func main() {
 	var (
-		scale    = flag.Float64("scale", 0.2, "instruction-count scale (1.0 = 60k instructions/core)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		idle     = flag.Bool("idle", false, "only run the No_PG idle-period analysis (Figure 3 / Section 3.2)")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
-		csvPath  = flag.String("csv", "", "also write the raw per-cell results to a CSV file")
-		parallel = flag.Bool("parallel", true, "run suite cells concurrently")
+		scale        = flag.Float64("scale", 0.2, "instruction-count scale (1.0 = 60k instructions/core)")
+		seed         = flag.Int64("seed", 1, "random seed")
+		idle         = flag.Bool("idle", false, "only run the No_PG idle-period analysis (Figure 3 / Section 3.2)")
+		quiet        = flag.Bool("quiet", false, "suppress progress output")
+		csvPath      = flag.String("csv", "", "also write the raw per-cell results to a CSV file")
+		parallel     = flag.Bool("parallel", true, "run suite cells concurrently")
+		kernel       = flag.Bool("kernel", false, "run the tick-kernel benchmark matrix (8x8 x designs x loads) and write a JSON report")
+		kernelOut    = flag.String("kernel-out", "BENCH_kernel.json", "output path for the -kernel report")
+		kernelCycles = flag.Int("kernel-cycles", 50_000, "measured cycles per -kernel point")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	fail := func(err error) {
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	defer stopProfiles()
+
+	fail := func(err error) {
+		stopProfiles()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *kernel {
+		progress := func(s string) {
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "kernel bench %s\n", s)
+			}
+		}
+		rep, err := sim.KernelBench(*kernelCycles, *seed, progress)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*kernelOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-14s %8s %14s %14s %12s\n", "design", "rate", "ns/cycle", "cycles/sec", "allocs/cyc")
+		for _, p := range rep.Points {
+			fmt.Printf("%-14s %8.2f %14.1f %14.0f %12.4f\n",
+				p.Design, p.Rate, p.NsPerCycle, p.CyclesPerSec, p.AllocsPerCycle)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *kernelOut)
+		if bad := rep.Regressions(); len(bad) > 0 {
+			for _, p := range bad {
+				fmt.Fprintf(os.Stderr, "allocation regression: %s rate %.2f allocates %.4f/cycle (budget %.2f)\n",
+					p.Design, p.Rate, p.AllocsPerCycle, p.Budget)
+			}
+			stopProfiles()
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *idle {
@@ -53,7 +142,6 @@ func main() {
 		}
 	}
 	var sr *sim.SuiteResult
-	var err error
 	if *parallel {
 		sr, err = sim.ParallelSuite(*scale, *seed, progress)
 	} else {

@@ -14,10 +14,48 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"nord/internal/noc"
 	"nord/internal/sim"
 )
+
+// startProfiles begins CPU profiling and returns a function that stops it
+// and writes the heap profile; the stop function must run before every
+// process exit (os.Exit skips defers).
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}
+	}, nil
+}
 
 func designByName(s string) (noc.Design, error) {
 	switch s {
@@ -55,8 +93,22 @@ func main() {
 		powerTrace  = flag.Int("power-trace", 0, "emit a power time series sampled every N cycles (CSV) instead of the report")
 		watch       = flag.Int("watch", 0, "render router power-state frames every N cycles instead of the report")
 		printConfig = flag.Bool("print-config", false, "print the Table 1 default configuration and exit")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+	fail := func(err error) {
+		stopProfiles()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *printConfig {
 		p := noc.DefaultParams(noc.NoRD)
@@ -76,8 +128,7 @@ func main() {
 
 	d, err := designByName(*design)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *watch > 0 {
 		frames := *measure / *watch
@@ -92,8 +143,7 @@ func main() {
 			AggressiveBypass: *aggressive, DynamicClassify: *dynClass,
 		}, *watch, frames, os.Stdout)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
@@ -107,12 +157,10 @@ func main() {
 			DynamicClassify: *dynClass,
 		}, *powerTrace)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		if err := sim.WritePowerSeriesCSV(os.Stdout, samples); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(err)
 		}
 		return
 	}
@@ -133,8 +181,7 @@ func main() {
 		})
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fail(err)
 	}
 	if *csvOut {
 		w := csv.NewWriter(os.Stdout)

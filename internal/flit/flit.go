@@ -127,6 +127,11 @@ type Packet struct {
 	// flow-control state stays consistent, but is dropped at its
 	// destination NI instead of delivered; the source retransmits.
 	Poisoned bool
+
+	// pooled marks packets issued by a Pool; only those may be recycled,
+	// so externally constructed packets (tests, retransmit clones) are
+	// never mutated behind their owner's back.
+	pooled bool
 }
 
 // String implements fmt.Stringer.
@@ -151,6 +156,9 @@ type Flit struct {
 	// end-to-end retransmission. The VC field is excluded: it is legally
 	// rewritten hop by hop.
 	Checksum uint32
+
+	// pooled marks flits issued by a Pool; only those may be recycled.
+	pooled bool
 }
 
 // Checksum computes the flit's reference checksum (FNV-1a over the

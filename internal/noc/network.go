@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"nord/internal/fault"
@@ -47,6 +48,11 @@ type Network struct {
 	ejectHandler func(*flit.Packet, uint64)
 	injectHook   func(*flit.Packet, uint64)
 
+	// nbrTab caches mesh.Neighbor for the hot paths: nbrTab[id*5+dir] is
+	// the adjacent node id, or -1 when the port faces the mesh edge (and
+	// always -1 for the Local pseudo-direction).
+	nbrTab []int32
+
 	pendingCredits []creditEvt
 	inFlight       int
 	lastProgress   uint64
@@ -63,6 +69,36 @@ type Network struct {
 	// allocations (the network is single-threaded; each decision is
 	// consumed before the next route call).
 	candScratch []cand
+
+	// Event-sparse kernel state. activeMask is a bitset of the nodes that
+	// must be ticked; a node leaves the set when nodeNeedsTick turns false
+	// and rejoins through activate() when an event touches it again.
+	// lastTicked records, per node, the cycle through which its per-cycle
+	// accounting (idle/power statistics, the NI quiet-run counter) has
+	// been applied; statEpoch is the cycle the network as a whole has been
+	// accounted through, so activate() can back-fill a dormant stretch in
+	// one step. sparse is false in full-scan mode (Params.FullScanTick or
+	// an armed fault schedule), where every bit stays set and the kernel
+	// degenerates to the original walk-everything loop.
+	nn         int
+	sparse     bool
+	activeMask []uint64
+	idScratch  []int
+	lastTicked []uint64
+	statEpoch  uint64
+	// linkCount[id] counts flits in flight on node id's output links, so
+	// link delivery can skip nodes whose channels are idle.
+	linkCount []int
+
+	// pool recycles packet and flit objects so the steady-state tick path
+	// allocates nothing.
+	pool flit.Pool
+
+	// minDirs/xyDirs are the precomputed routing tables, indexed
+	// src*nn+dst (nil beyond routeTableMaxNodes; directions are then
+	// computed arithmetically, still allocation-free).
+	minDirs []dirSet
+	xyDirs  []topology.Dir
 }
 
 // New builds a network from validated parameters.
@@ -93,11 +129,36 @@ func New(p Params) (*Network, error) {
 		}
 		n.ring = ring
 	}
+	n.nn = mesh.N()
+	n.sparse = !p.FullScanTick
+	n.activeMask = make([]uint64, (n.nn+63)/64)
+	n.idScratch = make([]int, 0, n.nn)
+	n.lastTicked = make([]uint64, n.nn)
+	n.linkCount = make([]int, n.nn)
+	n.nbrTab = make([]int32, n.nn*int(topology.NumDirs))
+	for id := 0; id < n.nn; id++ {
+		for d := topology.Dir(0); d < topology.NumDirs; d++ {
+			nb, ok := mesh.Neighbor(id, d)
+			if !ok {
+				nb = -1
+			}
+			n.nbrTab[id*int(topology.NumDirs)+int(d)] = int32(nb)
+		}
+	}
+	n.setAllActive()
+	n.buildRouteTables()
+	// Routers and NIs live in two contiguous arrays: the per-cycle loops
+	// walk them in index order, so locality matters more than it would for
+	// individually boxed objects.
+	rbuf := make([]Router, mesh.N())
+	nbuf := make([]NI, mesh.N())
 	n.routers = make([]*Router, mesh.N())
 	n.nis = make([]*NI, mesh.N())
 	for id := 0; id < mesh.N(); id++ {
-		n.routers[id] = newRouter(id, n)
-		n.nis[id] = newNI(id, n)
+		n.routers[id] = &rbuf[id]
+		initRouter(n.routers[id], id, n)
+		n.nis[id] = &nbuf[id]
+		initNI(n.nis[id], id, n)
 		n.idle[id] = stats.NewIdleTracker(p.MaxIdlePeriod)
 	}
 	if p.Design == NoRD && p.ForcedOff {
@@ -134,8 +195,13 @@ func (n *Network) Ring() *topology.Ring { return n.ring }
 // Cycle returns the current simulation cycle.
 func (n *Network) Cycle() uint64 { return n.cycle }
 
-// Collector exposes the raw statistics collector.
-func (n *Network) Collector() *stats.NoC { return n.col }
+// Collector exposes the raw statistics collector, first syncing the
+// lazily accounted per-node counters of dormant nodes (the power time
+// series samples cumulative counters mid-run).
+func (n *Network) Collector() *stats.NoC {
+	n.syncStats()
+	return n.col
+}
 
 // InFlight returns the number of packets injected but not yet delivered.
 func (n *Network) InFlight() int { return n.inFlight }
@@ -147,25 +213,35 @@ func (n *Network) SetDeliveryHandler(f func(*flit.Packet, uint64)) { n.ejectHand
 // BeginMeasurement starts statistics collection (call after warmup).
 // Packets injected before this cycle do not contribute latency samples.
 func (n *Network) BeginMeasurement() {
+	// Consume the dormant stretches accumulated during warmup against the
+	// pre-measurement interval, so the measured window starts clean.
+	n.syncStats()
 	n.collecting = true
 	n.measureFrom = n.cycle
 }
 
 // FinishMeasurement flushes per-router trackers into the collector.
 func (n *Network) FinishMeasurement() {
-	for id, it := range n.idle {
+	n.syncStats()
+	for _, it := range n.idle {
 		it.Flush()
 		n.col.IdlePeriods.Merge(it.Periods())
 		n.col.IdleCycles += it.IdleCycles()
 		n.col.BusyCycles += it.BusyCycles()
-		_ = id
 	}
 }
 
-// NewPacket allocates a packet with a unique ID, ready for Inject.
+// NewPacket returns a packet with a unique ID, ready for Inject, drawn
+// from the network's recycling pool.
 func (n *Network) NewPacket(src, dst int, class flit.Class, length int) *flit.Packet {
 	n.nextPktID++
-	return &flit.Packet{ID: n.nextPktID, Src: src, Dst: dst, Class: class, Length: length}
+	p := n.pool.Packet()
+	p.ID = n.nextPktID
+	p.Src = src
+	p.Dst = dst
+	p.Class = class
+	p.Length = length
+	return p
 }
 
 // SetInjectHook registers a callback invoked for every packet accepted
@@ -178,6 +254,7 @@ func (n *Network) Inject(p *flit.Packet) bool {
 	if !n.mesh.Valid(p.Src) || !n.mesh.Valid(p.Dst) || p.Src == p.Dst {
 		return false
 	}
+	n.activate(p.Src)
 	if !n.nis[p.Src].inject(p) {
 		return false
 	}
@@ -243,33 +320,46 @@ func (n *Network) Step() error {
 	if n.faults != nil {
 		n.faults.tick(n)
 	}
+	// Each phase walks a fresh snapshot of the active worklist: a node
+	// activated mid-cycle (flit delivery, wakeup assertion, injection)
+	// joins the remaining phases of the same cycle — exactly the phases
+	// that could observe it in a full scan, since a dormant node's earlier
+	// phases are no-ops by construction (empty datapath, empty queues,
+	// settled power state).
 	// 1. Link traversal completion: deliver flits whose LT finished.
-	n.deliverLinks()
-	// 2. NI wire deliveries (ejections and local-port injections).
-	for _, ni := range n.nis {
+	for _, id := range n.collectActive() {
+		if n.linkCount[id] > 0 {
+			n.deliverNodeLinks(id)
+		}
+	}
+	// 2-4. NI wire deliveries, router ST, NI pipelines — fused into one
+	// pass per node. Safe because within these three phases no node reads
+	// state another node writes the same cycle (ST and the NI engines emit
+	// onto links with >= 1 cycle of delay; the only cross-node write, the
+	// ring-upstream credit restore in tickBypass, is read back only by SA
+	// and later phases, which still run after every NI has ticked), and
+	// none of the three activates new nodes, so the snapshot is stable.
+	for _, id := range n.collectActive() {
+		ni := n.nis[id]
 		ni.tickDeliver()
-	}
-	// 3. Router ST: last cycle's SA winners leave on links.
-	for _, r := range n.routers {
-		r.tickST()
-	}
-	// 4. NI pipelines: bypass stage 3/2, injection engines.
-	for _, ni := range n.nis {
+		n.routers[id].tickST()
 		ni.tick()
 	}
-	// 5-7. Router SA, VA, RC (reverse pipeline order so a flit advances
-	// at most one stage per cycle).
-	for _, r := range n.routers {
+	// 5-7. Router SA, VA, RC (reverse pipeline order so a flit advances at
+	// most one stage per cycle), likewise fused: these stages touch only
+	// their own router's datapath (credit returns are deferred to phase 9)
+	// and the nodes they activate — wakeup targets — are dormant, with
+	// empty pipelines, so skipping their SA/VA/RC this cycle matches the
+	// full scan's no-ops.
+	for _, id := range n.collectActive() {
+		r := n.routers[id]
 		r.tickSA()
-	}
-	for _, r := range n.routers {
 		r.tickVA()
-	}
-	for _, r := range n.routers {
 		r.tickRC()
 	}
 	// 8. Power-gating controllers.
-	for _, r := range n.routers {
+	for _, id := range n.collectActive() {
+		r := n.routers[id]
 		r.saGrantsLastCycle = r.saGrantsThisCycle
 		r.saGrantsThisCycle = 0
 		r.tickController()
@@ -297,7 +387,155 @@ func (n *Network) Step() error {
 			FailedRouters: n.HardFailedRouters(),
 		})
 	}
+	// 11. Deactivation sweep: nodes with no remaining work leave the
+	// worklist; activate() restores them (back-filling their per-cycle
+	// accounting) when an event touches them again.
+	if n.sparse {
+		for _, id := range n.collectActive() {
+			if !n.nodeNeedsTick(id) {
+				n.activeMask[id>>6] &^= uint64(1) << (uint(id) & 63)
+			}
+		}
+	}
 	return n.err
+}
+
+// setAllActive marks every node active (full-scan mode, initialisation).
+func (n *Network) setAllActive() {
+	for w := range n.activeMask {
+		n.activeMask[w] = ^uint64(0)
+	}
+	if r := uint(n.nn) & 63; r != 0 {
+		n.activeMask[len(n.activeMask)-1] = (uint64(1) << r) - 1
+	}
+}
+
+// collectActive snapshots the active worklist into a reusable scratch
+// slice, in ascending node order — the same iteration order as the
+// original full scan, so arbitration and statistics stay bit-identical.
+func (n *Network) collectActive() []int {
+	ids := n.idScratch[:0]
+	for w, word := range n.activeMask {
+		base := w << 6
+		for word != 0 {
+			ids = append(ids, base+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	n.idScratch = ids
+	return ids
+}
+
+// activate puts node id on the active worklist, first back-filling the
+// per-cycle accounting it skipped while dormant (during which, by the
+// deactivation invariant, its datapath was empty, its power state
+// constant and its demand window zero). Call it before the triggering
+// event mutates any of that state.
+func (n *Network) activate(id int) {
+	w := uint(id) >> 6
+	bit := uint64(1) << (uint(id) & 63)
+	if n.activeMask[w]&bit != 0 {
+		return
+	}
+	n.activeMask[w] |= bit
+	n.flushNode(id)
+}
+
+// flushNode applies the per-cycle accounting node id skipped while
+// dormant: NI quiet-run cycles (a dormant node's windowed demand is zero,
+// which never exceeds the gating slack) and, while measuring, the
+// idle-tracker and power-state cycle counters.
+func (n *Network) flushNode(id int) {
+	last := n.lastTicked[id]
+	gap := n.statEpoch - last
+	if gap == 0 {
+		return
+	}
+	n.lastTicked[id] = n.statEpoch
+	n.nis[id].quietRun += int(gap)
+	if !n.collecting {
+		return
+	}
+	if last < n.measureFrom {
+		// The stretch straddles BeginMeasurement: only the measured part
+		// feeds statistics.
+		if n.statEpoch <= n.measureFrom {
+			return
+		}
+		gap = n.statEpoch - n.measureFrom
+	}
+	r := n.routers[id]
+	n.idle[id].RecordRun(r.busy(), gap)
+	switch r.state {
+	case powerOn:
+		n.col.RouterOnCycles += gap
+	case powerOff:
+		n.col.RouterOffCycles += gap
+		r.statOffCycles += gap
+	case powerWaking:
+		n.col.RouterWakingCycles += gap
+	}
+}
+
+// syncStats back-fills the lazily accounted statistics of every dormant
+// node up to the current cycle, so cumulative counters read mid-run (the
+// power time series, mid-run collector probes) are exact.
+func (n *Network) syncStats() {
+	for id := range n.lastTicked {
+		n.flushNode(id)
+	}
+}
+
+// nodeNeedsTick reports whether node id still has work that requires
+// ticking: router datapath or pipeline occupancy, an unfinished
+// power-state transition, flits in flight on its output links, or NI-side
+// queues, registers and windowed demand. Every mutation that can turn
+// this true for a dormant node goes through activate().
+func (n *Network) nodeNeedsTick(id int) bool {
+	r := n.routers[id]
+	if r.bufFlits > 0 || r.stFlits > 0 {
+		return true
+	}
+	if r.phaseCnt[vcRouting] > 0 || r.phaseCnt[vcWaitVA] > 0 ||
+		r.phaseCnt[vcActive] > 0 || r.phaseCnt[vcWaitWake] > 0 {
+		return true
+	}
+	if r.saGrantsLastCycle > 0 || r.saGrantsThisCycle > 0 {
+		return true
+	}
+	switch r.state {
+	case powerWaking:
+		return true
+	case powerOn:
+		// Gated designs keep powered-on routers ticking so the controller
+		// can evaluate gate-off; NoPG routers may sleep once the empty-run
+		// counter saturates past the gating horizon (it stops changing).
+		if n.p.Design.PowerGated() || r.emptyRun <= n.p.GateIdleCycles {
+			return true
+		}
+	}
+	if n.linkCount[id] > 0 {
+		return true
+	}
+	ni := n.nis[id]
+	if ni.curMode != modeNone || len(ni.curFlits) > 0 || ni.injectOut != nil {
+		return true
+	}
+	if len(ni.ejPend) > 0 || len(ni.toLocal) > 0 {
+		return true
+	}
+	if ni.window.Sum() > 0 {
+		return true
+	}
+	if ni.queuedTotal > 0 {
+		return true
+	}
+	if n.p.Design == NoRD {
+		if ni.latchCount > 0 || ni.fwdCount > 0 || r.heldVCs > 0 || r.bypassSum > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Run advances the network by the given number of cycles.
@@ -350,9 +588,10 @@ func (n *Network) collectInFlightDump(limit int) []fault.PacketDump {
 		}
 	}
 	for id, ni := range n.nis {
-		for _, q := range ni.injQ {
-			for _, p := range q {
-				add(p, fmt.Sprintf("NI %d inject queue", id))
+		for c := range ni.injQ {
+			q := &ni.injQ[c]
+			for i := 0; i < q.len(); i++ {
+				add(q.at(i), fmt.Sprintf("NI %d inject queue", id))
 			}
 		}
 		if len(ni.curFlits) > 0 {
@@ -393,24 +632,23 @@ func (n *Network) collectInFlightDump(limit int) []fault.PacketDump {
 	return out
 }
 
-// deliverLinks completes link traversal for due flits.
-func (n *Network) deliverLinks() {
-	for id := range n.links {
-		for d := 0; d < 4; d++ {
-			q := n.links[id][d]
-			if len(q) == 0 {
+// deliverNodeLinks completes link traversal for node id's due flits.
+func (n *Network) deliverNodeLinks(id int) {
+	for d := 0; d < 4; d++ {
+		q := n.links[id][d]
+		if len(q) == 0 {
+			continue
+		}
+		keep := q[:0]
+		for _, tf := range q {
+			if tf.at > n.cycle {
+				keep = append(keep, tf)
 				continue
 			}
-			keep := q[:0]
-			for _, tf := range q {
-				if tf.at > n.cycle {
-					keep = append(keep, tf)
-					continue
-				}
-				n.deliverFlit(id, topology.Dir(d), tf.f)
-			}
-			n.links[id][d] = keep
+			n.linkCount[id]--
+			n.deliverFlit(id, topology.Dir(d), tf.f)
 		}
+		n.links[id][d] = keep
 	}
 }
 
@@ -418,12 +656,13 @@ func (n *Network) deliverLinks() {
 // downstream router or, when that router is gated off (or the flit's
 // packet is mid-bypass), to its NI bypass.
 func (n *Network) deliverFlit(from int, dir topology.Dir, f *flit.Flit) {
-	to, ok := n.mesh.Neighbor(from, dir)
+	to, ok := n.neighbor(from, dir)
 	if !ok {
 		n.fail(&fault.ProtocolError{Cycle: n.cycle, Router: from,
 			Msg: fmt.Sprintf("flit sent off the edge of the mesh on dir %v", dir)})
 		return
 	}
+	n.activate(to)
 	n.progressed = true
 	if n.faults != nil {
 		n.faults.verify(n, f)
@@ -466,10 +705,17 @@ func (n *Network) sendLinkDelay(id int, dir topology.Dir, f *flit.Flit, delay ui
 		n.faults.maybeCorrupt(n, id, dir, f)
 	}
 	n.links[id][dir] = append(n.links[id][dir], timedFlit{f: f, at: n.cycle + delay})
+	n.linkCount[id]++
 	n.progressed = true
 	if n.collecting {
 		n.col.LinkTraversals++
 	}
+}
+
+// neighbor is the table-backed equivalent of mesh.Neighbor.
+func (n *Network) neighbor(id int, d topology.Dir) (int, bool) {
+	nb := n.nbrTab[id*int(topology.NumDirs)+int(d)]
+	return int(nb), nb >= 0
 }
 
 // linkBusy reports flits in flight on the channel leaving id through dir.
@@ -488,7 +734,7 @@ func (n *Network) applyCredit(ev creditEvt) {
 		n.nis[ev.router].localCredits[ev.vc]++
 		return
 	}
-	nb, ok := n.mesh.Neighbor(ev.router, ev.port)
+	nb, ok := n.neighbor(ev.router, ev.port)
 	if !ok {
 		n.fail(&fault.ProtocolError{Cycle: n.cycle, Router: ev.router, Msg: "credit return off the mesh"})
 		return
@@ -526,27 +772,46 @@ func (n *Network) deliverPacket(p *flit.Packet) {
 	}
 	if n.ejectHandler != nil {
 		n.ejectHandler(p, n.cycle)
+	} else if n.faults == nil && n.injectHook == nil {
+		// Nothing outside the network can retain the packet (handlers and
+		// hooks may hold delivered packets; the fault machinery's retry
+		// queue does): recycle it.
+		n.pool.PutPacket(p)
 	}
 }
 
-// tickStats accumulates per-cycle statistics.
+// tickStats runs the end-of-cycle per-node accounting for active nodes:
+// the NI quiet-run catch-up for nodes activated after the NI phase,
+// idle/power statistics, and the lastTicked stamp that lets activate()
+// back-fill dormant stretches exactly.
 func (n *Network) tickStats() {
-	if !n.collecting {
-		return
-	}
-	n.col.Cycles++
-	for id, r := range n.routers {
-		n.idle[id].Record(r.busy())
-		switch r.state {
-		case powerOn:
-			n.col.RouterOnCycles++
-		case powerOff:
-			n.col.RouterOffCycles++
-			r.statOffCycles++
-		case powerWaking:
-			n.col.RouterWakingCycles++
+	for _, id := range n.collectActive() {
+		ni := n.nis[id]
+		if ni.lastTick != n.cycle {
+			// Activated after phase 4: the NI tick it missed would have
+			// pushed 0 into an all-zero demand window, which reduces to
+			// the quiet-run increment.
+			ni.quietRun++
+		}
+		n.lastTicked[id] = n.cycle
+		if n.collecting {
+			r := n.routers[id]
+			n.idle[id].Record(r.busy())
+			switch r.state {
+			case powerOn:
+				n.col.RouterOnCycles++
+			case powerOff:
+				n.col.RouterOffCycles++
+				r.statOffCycles++
+			case powerWaking:
+				n.col.RouterWakingCycles++
+			}
 		}
 	}
+	if n.collecting {
+		n.col.Cycles++
+	}
+	n.statEpoch = n.cycle
 }
 
 // Statistic note helpers, gated on measurement.
@@ -700,6 +965,7 @@ type RouterReport struct {
 // PerRouterReports returns per-router statistics for spatial analysis
 // (utilisation heat maps, gating behaviour per location).
 func (n *Network) PerRouterReports() []RouterReport {
+	n.syncStats()
 	out := make([]RouterReport, len(n.routers))
 	perf := map[int]bool{}
 	for _, id := range n.PerfCentricNow() {

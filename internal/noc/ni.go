@@ -21,6 +21,55 @@ type timedFlit struct {
 	at uint64
 }
 
+// pktQueue is a growable ring buffer of queued packets (the NI injection
+// queue). It replaces a plain slice whose pop-front reslicing leaked
+// capacity and reallocated on the hot path.
+type pktQueue struct {
+	buf  []*flit.Packet
+	head int
+	n    int
+}
+
+func (q *pktQueue) len() int { return q.n }
+
+func (q *pktQueue) at(i int) *flit.Packet { return q.buf[(q.head+i)%len(q.buf)] }
+
+func (q *pktQueue) front() *flit.Packet { return q.buf[q.head] }
+
+func (q *pktQueue) grow() {
+	nb := make([]*flit.Packet, max(4, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.at(i)
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+func (q *pktQueue) pushBack(p *flit.Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+}
+
+func (q *pktQueue) pushFront(p *flit.Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+	q.buf[q.head] = p
+	q.n++
+}
+
+func (q *pktQueue) popFront() *flit.Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return p
+}
+
 // NI is a node's network interface. Besides the usual injection and
 // ejection queues it implements NoRD's decoupling bypass (Section 4.2,
 // Figure 4c): a per-VC single-flit latch fed by the router's Bypass
@@ -32,13 +81,19 @@ type NI struct {
 	net *Network
 
 	// Injection queues, one per protocol class, in packets.
-	injQ [][]*flit.Packet
-	// Current packet being injected.
+	injQ []pktQueue
+	// Current packet being injected. curFlits is a consuming window over
+	// curBuf, the persistent serialisation buffer refilled from the
+	// network's flit pool.
 	curFlits   []*flit.Flit
+	curBuf     []*flit.Flit
 	curVC      int
 	curMode    injMode
 	allocCycle uint64
 	classRR    int
+	// lastTick is the cycle tick() last ran, letting the end-of-cycle
+	// accounting catch up nodes activated after the NI phase.
+	lastTick uint64
 
 	// localCredits tracks free slots of the router's Local input VCs.
 	localCredits []int
@@ -56,6 +111,12 @@ type NI struct {
 	injectFwd bool         // injectOut carries forwarded (vs locally injected) traffic
 	bypassRR  int
 	starve    int
+	// latchCount/fwdCount/queuedTotal are O(1) occupancy counters (number
+	// of held latches, of in-progress forwards, of queued packets across
+	// classes) standing in for per-VC and per-class scans on the hot path.
+	latchCount  int
+	fwdCount    int
+	queuedTotal int
 
 	// window accumulates per-cycle VC request counts for the wakeup
 	// metric; threshold is this node's asymmetric wakeup threshold.
@@ -74,19 +135,23 @@ type NI struct {
 	demandAccum uint64
 }
 
-func newNI(id int, net *Network) *NI {
+// initNI initialises a (zeroed, contiguously allocated) NI in place.
+func initNI(ni *NI, id int, net *Network) {
 	p := &net.p
 	V := p.vcsPerPort()
-	ni := &NI{
-		id:           id,
-		net:          net,
-		injQ:         make([][]*flit.Packet, p.Classes),
-		localCredits: make([]int, V),
-		latch:        make([]*flit.Flit, V),
-		fwdOutVC:     make([]int, V),
-		fwdFails:     make([]int, V),
-		window:       stats.NewWindow(max(p.WakeupWindow, 1)),
-		threshold:    p.ThresholdPower,
+	ni.id = id
+	ni.net = net
+	ni.injQ = make([]pktQueue, p.Classes)
+	ni.localCredits = make([]int, V)
+	ni.latch = make([]*flit.Flit, V)
+	ni.fwdOutVC = make([]int, V)
+	ni.fwdFails = make([]int, V)
+	ni.window = stats.NewWindow(max(p.WakeupWindow, 1))
+	ni.threshold = p.ThresholdPower
+	for c := range ni.injQ {
+		// One extra slot: a drained-router requeue (pushFront) can briefly
+		// hold depth+1 packets.
+		ni.injQ[c].buf = make([]*flit.Packet, p.InjectQueueDepth+1)
 	}
 	for v := range ni.localCredits {
 		ni.localCredits[v] = p.BufferDepth
@@ -98,7 +163,6 @@ func newNI(id int, net *Network) *NI {
 			ni.setClass(true)
 		}
 	}
-	return ni
 }
 
 // setClass assigns this NI's wakeup behaviour to the performance-centric
@@ -120,21 +184,19 @@ func (ni *NI) setClass(perf bool) {
 // when the class queue is full.
 func (ni *NI) inject(p *flit.Packet) bool {
 	c := int(p.Class)
-	if len(ni.injQ[c]) >= ni.net.p.InjectQueueDepth {
+	if ni.injQ[c].len() >= ni.net.p.InjectQueueDepth {
 		return false
 	}
 	p.InjectTime = ni.net.cycle
-	ni.injQ[c] = append(ni.injQ[c], p)
+	ni.injQ[c].pushBack(p)
+	ni.queuedTotal++
 	ni.net.notePacketInjected(p)
 	return true
 }
 
 // queuedPackets returns the number of packets waiting or mid-injection.
 func (ni *NI) queuedPackets() int {
-	n := 0
-	for _, q := range ni.injQ {
-		n += len(q)
-	}
+	n := ni.queuedTotal
 	if len(ni.curFlits) > 0 {
 		n++
 	}
@@ -183,12 +245,15 @@ func (ni *NI) deliverBypass(f *flit.Flit) {
 		ni.net.noteBypassEject()
 		if r.bypassRemaining[f.VC] > 0 {
 			r.bypassRemaining[f.VC]--
+			r.bypassSum--
 		}
 		if f.Kind.IsTail() {
 			ni.net.deliverPacket(f.Packet)
 		} else if f.Kind.IsHead() {
+			r.bypassSum += f.Packet.Length - 1 - r.bypassRemaining[f.VC]
 			r.bypassRemaining[f.VC] = f.Packet.Length - 1
 		}
+		ni.net.pool.PutFlit(f)
 		return
 	}
 	if ni.latch[f.VC] != nil {
@@ -200,10 +265,13 @@ func (ni *NI) deliverBypass(f *flit.Flit) {
 		return
 	}
 	ni.latch[f.VC] = f
+	ni.latchCount++
 	if f.Kind.IsHead() {
+		r.bypassSum += f.Packet.Length - 1 - r.bypassRemaining[f.VC]
 		r.bypassRemaining[f.VC] = f.Packet.Length - 1
 	} else if r.bypassRemaining[f.VC] > 0 {
 		r.bypassRemaining[f.VC]--
+		r.bypassSum--
 	}
 }
 
@@ -215,13 +283,8 @@ func (ni *NI) deliverBypass(f *flit.Flit) {
 // credit are immediately available; otherwise the caller falls back to
 // the normal 2-cycle latch pipeline.
 func (ni *NI) tryAggressiveForward(r *Router, f *flit.Flit) bool {
-	if ni.injectOut != nil || ni.curMode == modeRing || ni.localRingHeadPending(r) {
+	if ni.injectOut != nil || ni.curMode == modeRing || ni.latchCount > 0 || ni.localRingHeadPending(r) {
 		return false
-	}
-	for v := range ni.latch {
-		if ni.latch[v] != nil {
-			return false
-		}
 	}
 	ringOut := ni.net.ring.OutDir(ni.id)
 	v := f.VC
@@ -233,6 +296,7 @@ func (ni *NI) tryAggressiveForward(r *Router, f *flit.Flit) bool {
 			}
 			r.outOwner[ringOut][c.vc] = owner{port: ownerBypassPort, vc: int16(v)}
 			ni.fwdOutVC[v] = c.vc
+			ni.fwdCount++
 			if c.escape && !f.Packet.Escaped {
 				f.Packet.Escaped = true
 				ni.net.noteEscape()
@@ -259,9 +323,11 @@ func (ni *NI) tryAggressiveForward(r *Router, f *flit.Flit) bool {
 	// Maintain the mid-bypass bookkeeping exactly as the latch path does
 	// so wakeups mid-packet behave identically.
 	if f.Kind.IsHead() {
+		r.bypassSum += f.Packet.Length - 1 - r.bypassRemaining[v]
 		r.bypassRemaining[v] = f.Packet.Length - 1
 	} else if r.bypassRemaining[v] > 0 {
 		r.bypassRemaining[v]--
+		r.bypassSum--
 	}
 	// The latch was never occupied: the upstream credit returns at once.
 	ni.net.creditReturn(ni.id, ni.net.ring.InDir(ni.id), v)
@@ -274,6 +340,7 @@ func (ni *NI) tryAggressiveForward(r *Router, f *flit.Flit) bool {
 	if f.Kind.IsTail() {
 		r.outOwner[ringOut][out] = ownerFree
 		ni.fwdOutVC[v] = -1
+		ni.fwdCount--
 	}
 	return true
 }
@@ -291,6 +358,7 @@ func (ni *NI) tickDeliver() {
 		if tf.f.Kind.IsTail() {
 			ni.net.deliverPacket(tf.f.Packet)
 		}
+		ni.net.pool.PutFlit(tf.f)
 	}
 	ni.ejPend = keepEj
 	keepIn := ni.toLocal[:0]
@@ -308,6 +376,7 @@ func (ni *NI) tickDeliver() {
 // VC-check/forward (arbitrated with local injection), local-port
 // injection, and the wakeup-metric window update.
 func (ni *NI) tick() {
+	ni.lastTick = ni.net.cycle
 	r := ni.net.routers[ni.id]
 	requests := uint32(0)
 
@@ -361,13 +430,7 @@ func (ni *NI) tickBypass(r *Router) uint32 {
 	// is tried in rotating order so one blocked head cannot starve a
 	// movable flit (whose departure may free the very VC the head needs).
 	V := ni.net.p.vcsPerPort()
-	hasFwd := false
-	for v := 0; v < V; v++ {
-		if ni.latch[v] != nil {
-			hasFwd = true
-			break
-		}
-	}
+	hasFwd := ni.latchCount > 0
 	localWants := ni.localRingHeadPending(r)
 	tryForward := func() bool {
 		for k := 0; k < V; k++ {
@@ -406,12 +469,7 @@ func (ni *NI) tickBypass(r *Router) uint32 {
 	// immediately and adds nothing, while congestion leaves flits parked
 	// in the latches re-requesting every cycle ("the number of VC
 	// requests goes up even if the flits are stalled", Section 4.3).
-	requests := uint32(0)
-	for v := 0; v < V; v++ {
-		if ni.latch[v] != nil {
-			requests++
-		}
-	}
+	requests := uint32(ni.latchCount)
 	if !r.on() && (ni.localRingHeadPending(r) || (ni.curMode == modeNone && ni.nextQueuedClass() >= 0)) {
 		requests++ // local traffic still waiting for the ring
 	}
@@ -425,11 +483,12 @@ func (ni *NI) tickBypass(r *Router) uint32 {
 
 	// Restore withheld ring credits for VCs whose mid-bypass packet has
 	// fully drained after a wakeup (Section 4.3).
-	if r.on() {
+	if r.heldVCs > 0 && r.on() {
 		for v := 0; v < V; v++ {
 			if r.creditsHeld[v] > 0 && r.bypassRemaining[v] == 0 && ni.latch[v] == nil {
 				ni.net.addRingUpstreamCredits(ni.id, v, r.creditsHeld[v])
 				r.creditsHeld[v] = 0
+				r.heldVCs--
 			}
 		}
 	}
@@ -451,6 +510,7 @@ func (ni *NI) forwardFromLatch(r *Router, v int) bool {
 			}
 			r.outOwner[ringOut][c.vc] = owner{port: ownerBypassPort, vc: int16(v)}
 			ni.fwdOutVC[v] = c.vc
+			ni.fwdCount++
 			if c.escape && !f.Packet.Escaped {
 				f.Packet.Escaped = true
 				ni.net.noteEscape()
@@ -482,6 +542,7 @@ func (ni *NI) forwardFromLatch(r *Router, v int) bool {
 	}
 	r.outCredits[ringOut][out]--
 	ni.latch[v] = nil
+	ni.latchCount--
 	// The latch slot frees: return the ring-upstream credit.
 	ni.net.creditReturn(ni.id, ni.net.ring.InDir(ni.id), v)
 	f.VC = out
@@ -489,6 +550,7 @@ func (ni *NI) forwardFromLatch(r *Router, v int) bool {
 	ni.injectFwd = true
 	if f.Kind.IsTail() {
 		ni.fwdOutVC[v] = -1
+		ni.fwdCount--
 	}
 	return true
 }
@@ -523,16 +585,18 @@ func (ni *NI) advanceRingInjection(r *Router) bool {
 		if c < 0 {
 			return false
 		}
-		pkt := ni.injQ[c][0]
+		pkt := ni.injQ[c].front()
 		cands := ni.net.bypassCands(r, pkt, ni.injFails)
 		for _, cd := range cands {
 			if r.outOwner[ringOut][cd.vc] != ownerFree || r.outCredits[ringOut][cd.vc] <= 0 {
 				continue
 			}
 			r.outOwner[ringOut][cd.vc] = owner{port: ownerBypassPort, vc: -1}
-			ni.injQ[c] = ni.injQ[c][1:]
+			ni.injQ[c].popFront()
+			ni.queuedTotal--
 			ni.classRR = c + 1
-			ni.curFlits = flit.Flits(pkt)
+			ni.curBuf = ni.net.pool.AppendFlits(ni.curBuf[:0], pkt)
+			ni.curFlits = ni.curBuf
 			ni.curVC = cd.vc
 			ni.curMode = modeRing
 			pkt.EnqueueTime = ni.net.cycle
@@ -593,11 +657,13 @@ func (ni *NI) tickInjection(r *Router) uint32 {
 			return requests
 		}
 		requests++
-		pkt := ni.injQ[c][0]
+		pkt := ni.injQ[c].front()
 		if v, ok := ni.freeLocalVC(int(pkt.Class)); ok {
-			ni.injQ[c] = ni.injQ[c][1:]
+			ni.injQ[c].popFront()
+			ni.queuedTotal--
 			ni.classRR = c + 1
-			ni.curFlits = flit.Flits(pkt)
+			ni.curBuf = ni.net.pool.AppendFlits(ni.curBuf[:0], pkt)
+			ni.curFlits = ni.curBuf
 			ni.curVC = v
 			ni.curMode = modeLocal
 			ni.allocCycle = ni.net.cycle
@@ -631,10 +697,13 @@ func (ni *NI) tickInjection(r *Router) uint32 {
 // nextQueuedClass returns the class of the next packet to inject
 // (round-robin across classes), or -1 when idle.
 func (ni *NI) nextQueuedClass() int {
+	if ni.queuedTotal == 0 {
+		return -1
+	}
 	n := len(ni.injQ)
 	for k := 0; k < n; k++ {
 		c := (k + ni.classRR) % n
-		if len(ni.injQ[c]) > 0 {
+		if ni.injQ[c].len() > 0 {
 			return c
 		}
 	}

@@ -134,6 +134,12 @@ type Params struct {
 	// (50k cycles). Fault-injection tests lower it so partitioned runs
 	// fail fast.
 	WatchdogLimit int
+	// FullScanTick is a debug flag that disables the event-sparse kernel:
+	// every node is ticked every cycle, as the original kernel did. The
+	// two kernels are behaviour-identical by construction; the golden
+	// determinism test compares their statistics bit for bit. Attaching a
+	// fault schedule forces full-scan mode regardless of this flag.
+	FullScanTick bool
 }
 
 // DefaultParams returns the paper's Table 1 configuration for a given
@@ -173,6 +179,10 @@ func (p *Params) Validate() error {
 	}
 	if p.VCsPerClass < minVCs {
 		return fmt.Errorf("noc: design %v needs at least %d VCs per class, got %d", p.Design, minVCs, p.VCsPerClass)
+	}
+	if p.vcsPerPort() > 64 {
+		// The per-phase VC occupancy masks carry one bit per VC and port.
+		return fmt.Errorf("noc: at most 64 VCs per port supported, got %d", p.vcsPerPort())
 	}
 	if p.BufferDepth < 1 {
 		return fmt.Errorf("noc: buffer depth must be positive, got %d", p.BufferDepth)

@@ -1,7 +1,9 @@
 package noc
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"nord/internal/traffic"
 )
@@ -23,3 +25,65 @@ func BenchmarkTick16NoPG(b *testing.B) { benchNet(b, NoPG, 4, 4, 0.05) }
 func BenchmarkTick16NoRD(b *testing.B) { benchNet(b, NoRD, 4, 4, 0.05) }
 func BenchmarkTick64NoRD(b *testing.B) { benchNet(b, NoRD, 8, 8, 0.05) }
 func BenchmarkTick64NoPG(b *testing.B) { benchNet(b, NoPG, 8, 8, 0.05) }
+
+// kernelRates is the standard load matrix of the benchmark-regression
+// harness: low (most routers dormant), mid, and saturation load in
+// flits/node/cycle on an 8x8 mesh.
+var kernelRates = []float64{0.02, 0.10, 0.30}
+
+// BenchmarkKernel is the regression matrix consumed by CI and by
+// `nordbench -kernel`: 8x8 mesh x 4 designs x 3 loads, reporting
+// simulated cycles/sec on top of the usual ns/op and allocs/op.
+func BenchmarkKernel(b *testing.B) {
+	for _, d := range []Design{NoPG, ConvPG, ConvPGOpt, NoRD} {
+		for _, rate := range kernelRates {
+			b.Run(fmt.Sprintf("%s/rate%.2f", d, rate), func(b *testing.B) {
+				p := DefaultParams(d)
+				p.Width, p.Height = 8, 8
+				n := MustNew(p)
+				inj := traffic.NewSynthetic(n, traffic.UniformRandom, rate, 1)
+				// Warm up: fills the pools, settles gating, reaches the
+				// steady state the harness is meant to measure.
+				for c := 0; c < 2000; c++ {
+					inj.Tick(n.Cycle())
+					n.Tick()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					inj.Tick(n.Cycle())
+					n.Tick()
+				}
+				if el := time.Since(start).Seconds(); el > 0 {
+					b.ReportMetric(float64(b.N)/el, "cycles/sec")
+				}
+			})
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocs proves the tick hot path is allocation-free
+// in steady state for all four designs: after warmup, whole simulated
+// cycles (traffic generation included) must not allocate.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	for _, d := range []Design{NoPG, ConvPG, ConvPGOpt, NoRD} {
+		t.Run(d.String(), func(t *testing.T) {
+			p := DefaultParams(d)
+			p.Width, p.Height = 8, 8
+			n := MustNew(p)
+			inj := traffic.NewSynthetic(n, traffic.UniformRandom, 0.02, 11)
+			for c := 0; c < 5000; c++ {
+				inj.Tick(n.Cycle())
+				n.Tick()
+			}
+			avg := testing.AllocsPerRun(300, func() {
+				inj.Tick(n.Cycle())
+				n.Tick()
+			})
+			if avg != 0 {
+				t.Errorf("%s: steady-state tick allocates %.4f allocs/op, want 0", d, avg)
+			}
+		})
+	}
+}

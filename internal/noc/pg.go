@@ -2,7 +2,6 @@ package noc
 
 import (
 	"nord/internal/fault"
-	"nord/internal/flit"
 	"nord/internal/topology"
 )
 
@@ -76,7 +75,7 @@ func (r *Router) wakeRequested() bool {
 	// ... and neighbors stalled in SA assert WU (after the assertion
 	// delay that models SA-time vs RC-time generation).
 	for d := topology.Dir(0); d < topology.Local; d++ {
-		nb, ok := n.mesh.Neighbor(r.id, d)
+		nb, ok := n.neighbor(r.id, d)
 		if !ok {
 			continue
 		}
@@ -109,13 +108,8 @@ func (r *Router) canGateOff() bool {
 	// register, withheld credits) before another transition.
 	if p.Design == NoRD {
 		ni := n.nis[r.id]
-		if ni.injectOut != nil {
+		if ni.injectOut != nil || ni.latchCount > 0 || ni.fwdCount > 0 || r.heldVCs > 0 {
 			return false
-		}
-		for v := range ni.latch {
-			if ni.latch[v] != nil || ni.fwdOutVC[v] >= 0 || r.creditsHeld[v] > 0 {
-				return false
-			}
 		}
 		// Hysteresis on the wakeup metric: wake when the windowed demand
 		// reaches the (asymmetric) threshold, but gate off only after the
@@ -145,7 +139,7 @@ func (r *Router) canGateOff() bool {
 func (r *Router) earlyWakeupIncoming() bool {
 	n := r.net
 	for d := topology.Dir(0); d < topology.Local; d++ {
-		nb, ok := n.mesh.Neighbor(r.id, d)
+		nb, ok := n.neighbor(r.id, d)
 		if !ok {
 			continue
 		}
@@ -175,7 +169,7 @@ func (r *Router) gateOff() {
 	r.state = powerOff
 	n.noteGateOff()
 	for d := topology.Dir(0); d < topology.Local; d++ {
-		nb, ok := n.mesh.Neighbor(r.id, d)
+		nb, ok := n.neighbor(r.id, d)
 		if !ok {
 			continue
 		}
@@ -234,6 +228,9 @@ func (r *Router) completeWake() {
 		if r.bypassRemaining[v] > 0 || ni.latch[v] != nil || ni.fwdOutVC[v] >= 0 {
 			// A packet is mid-bypass on this VC: hold the extra credits
 			// until it drains so the latch cannot overrun.
+			if add > 0 && r.creditsHeld[v] == 0 {
+				r.heldVCs++
+			}
 			r.creditsHeld[v] = add
 			continue
 		}
@@ -258,7 +255,13 @@ func (ni *NI) onRouterOff() {
 	}
 	pkt := ni.curFlits[0].Packet
 	c := int(pkt.Class)
-	ni.injQ[c] = append([]*flit.Packet{pkt}, ni.injQ[c]...)
+	// None of the flits were sent (Seq 0 is still at the front): recycle
+	// the serialisation before requeueing the packet at the head.
+	for _, f := range ni.curFlits {
+		ni.net.pool.PutFlit(f)
+	}
+	ni.injQ[c].pushFront(pkt)
+	ni.queuedTotal++
 	ni.curFlits = nil
 	ni.curMode = modeNone
 }

@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"nord/internal/fault"
 	"nord/internal/flit"
@@ -67,6 +68,10 @@ type vcState struct {
 	wuFrom  uint64
 	stallAt uint64 // cycle the wait began, for wakeup-stall stats
 	vaFails int    // consecutive failed VA attempts (forces escape/wake)
+	// port/vcIdx locate this VC in its router (the bit it owns in the
+	// per-phase occupancy masks).
+	port  uint8
+	vcIdx uint8
 }
 
 func (v *vcState) empty() bool { return len(v.buf) == 0 }
@@ -144,9 +149,19 @@ type Router struct {
 	// Occupancy counters for fast-pathing idle routers: bufFlits counts
 	// flits resident in input buffers, stFlits flits in ST registers,
 	// and phaseCnt the number of input VCs in each non-idle phase.
-	bufFlits int
-	stFlits  int
-	phaseCnt [5]int
+	// phaseMask mirrors phaseCnt as one occupancy bit per input VC
+	// (phaseMask[phase][port] bit v), letting the pipeline stages iterate
+	// only the occupied VCs instead of scanning every slot.
+	bufFlits  int
+	stFlits   int
+	phaseCnt  [5]int
+	phaseMask [5][topology.NumDirs]uint64
+
+	// bypassSum is the running total of bypassRemaining and heldVCs the
+	// number of VCs with withheld ring credits — O(1) stand-ins for the
+	// per-VC scans on the hot path.
+	bypassSum int
+	heldVCs   int
 
 	// saScratch is reused each cycle to gather SA candidates.
 	saScratch []saCand
@@ -184,27 +199,47 @@ func (r *Router) freshHeadPhase() vcPhase {
 	return vcRouting
 }
 
-// setPhase moves an input VC to a new phase, maintaining the counters.
+// setPhase moves an input VC to a new phase, maintaining the counters and
+// occupancy masks.
 func (r *Router) setPhase(vc *vcState, p vcPhase) {
+	bit := uint64(1) << vc.vcIdx
 	if vc.phase != vcIdle {
 		r.phaseCnt[vc.phase]--
+		r.phaseMask[vc.phase][vc.port] &^= bit
 	}
 	vc.phase = p
 	if p != vcIdle {
 		r.phaseCnt[p]++
+		r.phaseMask[p][vc.port] |= bit
 	}
 }
 
-func newRouter(id int, net *Network) *Router {
+// initRouter initialises a (zeroed, contiguously allocated) router in
+// place. The per-port slices share contiguous backing arrays so the
+// pipeline scans walk sequential memory.
+func initRouter(r *Router, id int, net *Network) {
 	p := &net.p
 	V := p.vcsPerPort()
-	r := &Router{id: id, net: net, bypassRemaining: make([]int, V), creditsHeld: make([]int, V)}
+	ND := int(topology.NumDirs)
+	r.id = id
+	r.net = net
+	r.bypassRemaining = make([]int, V)
+	r.creditsHeld = make([]int, V)
+	states := make([]vcState, ND*V)
+	ptrs := make([]*vcState, ND*V)
+	credits := make([]int, ND*V)
+	owners := make([]owner, ND*V)
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		r.in[d] = make([]*vcState, V)
-		r.outCredits[d] = make([]int, V)
-		r.outOwner[d] = make([]owner, V)
+		base := int(d) * V
+		r.in[d] = ptrs[base : base+V : base+V]
+		r.outCredits[d] = credits[base : base+V : base+V]
+		r.outOwner[d] = owners[base : base+V : base+V]
 		for v := 0; v < V; v++ {
-			r.in[d][v] = &vcState{buf: make([]*flit.Flit, 0, p.BufferDepth)}
+			st := &states[base+v]
+			st.buf = make([]*flit.Flit, 0, p.BufferDepth)
+			st.port = uint8(d)
+			st.vcIdx = uint8(v)
+			r.in[d][v] = st
 			r.outOwner[d][v] = ownerFree
 			// Credits toward real neighbors are the downstream buffer
 			// depth; the Local output (ejection) is modelled as an
@@ -219,7 +254,6 @@ func newRouter(id int, net *Network) *Router {
 	if p.Design.PowerGated() && p.ForcedOff {
 		r.state = powerOff
 	}
-	return r
 }
 
 // on reports whether the router's normal pipeline is usable (PG signal
@@ -237,15 +271,7 @@ func (r *Router) datapathEmpty() bool {
 // busy reports datapath occupancy for idle-period statistics: any flit in
 // buffers, pipeline registers, or mid-bypass.
 func (r *Router) busy() bool {
-	if !r.datapathEmpty() {
-		return true
-	}
-	for _, n := range r.bypassRemaining {
-		if n > 0 {
-			return true
-		}
-	}
-	return false
+	return !r.datapathEmpty() || r.bypassSum > 0
 }
 
 // tickST moves last cycle's SA winners onto the output links (the ST
@@ -277,15 +303,16 @@ func (r *Router) tickSA() {
 	if !r.on() || r.bufFlits == 0 || r.phaseCnt[vcActive] == 0 {
 		return
 	}
-	// Gather the (few) active input VCs with a flit at their head once.
+	// Gather the (few) active input VCs with a flit at their head once,
+	// iterating only the occupied bits of the vcActive mask (same
+	// ascending port/VC order as a full scan).
 	cands := r.saScratch[:0]
-	remaining := r.phaseCnt[vcActive]
-	for d := topology.Dir(0); d < topology.NumDirs && remaining > 0; d++ {
-		for v, vc := range r.in[d] {
-			if vc.phase != vcActive {
-				continue
-			}
-			remaining--
+	for d := topology.Dir(0); d < topology.NumDirs; d++ {
+		m := r.phaseMask[vcActive][d]
+		for m != 0 {
+			v := bits.TrailingZeros64(m)
+			m &= m - 1
+			vc := r.in[d][v]
 			if !vc.empty() {
 				cands = append(cands, saCand{d: d, v: v, vc: vc})
 			}
@@ -296,16 +323,28 @@ func (r *Router) tickSA() {
 		return
 	}
 	var portRead [topology.NumDirs]bool
+	rrOut := r.rr % int(topology.NumDirs)
+	rrCand := r.rr % len(cands)
 	for outIdx := 0; outIdx < int(topology.NumDirs); outIdx++ {
-		out := topology.Dir((outIdx + r.rr) % int(topology.NumDirs))
+		out := topology.Dir(outIdx + rrOut)
+		if out >= topology.NumDirs {
+			out -= topology.NumDirs
+		}
 		if r.stReg[out] != nil {
 			continue
 		}
 		granted := false
 		for k := 0; k < len(cands) && !granted; k++ {
-			c := cands[(k+r.rr)%len(cands)]
+			ci := k + rrCand
+			if ci >= len(cands) {
+				ci -= len(cands)
+			}
+			c := cands[ci]
 			d, v, vc := c.d, c.v, c.vc
-			if vc.route != out || vc.empty() || portRead[d] {
+			// No emptiness re-check: every cand had a head flit at gather
+			// time, and the only pops in this loop are grants, which mark
+			// portRead[d] and so exclude the candidate from later outputs.
+			if vc.route != out || portRead[d] {
 				continue
 			}
 			if out != topology.Local && r.outCredits[out][vc.outVC] <= 0 {
@@ -369,18 +408,35 @@ func (r *Router) tickVA() {
 	if !r.on() || r.phaseCnt[vcWaitVA] == 0 {
 		return
 	}
+	// Visit waiting VCs in the same rotated flat order (port-major,
+	// starting at r.rr) as a full slot scan, but via the occupancy mask so
+	// the cost scales with the number of waiters. allocate never moves
+	// another VC into vcWaitVA, so the per-port mask snapshots are exact.
 	p := &r.net.p
 	V := p.vcsPerPort()
 	total := int(topology.NumDirs) * V
-	for k := 0; k < total; k++ {
-		idx := (k + r.rr) % total
-		d := topology.Dir(idx / V)
-		v := idx % V
+	start := r.rr % total
+	d0 := topology.Dir(start / V)
+	lowMask := (uint64(1) << uint(start%V)) - 1
+	r.vaScanPort(d0, r.phaseMask[vcWaitVA][d0]&^lowMask)
+	for d := d0 + 1; d < topology.NumDirs; d++ {
+		r.vaScanPort(d, r.phaseMask[vcWaitVA][d])
+	}
+	for d := topology.Dir(0); d < d0; d++ {
+		r.vaScanPort(d, r.phaseMask[vcWaitVA][d])
+	}
+	r.vaScanPort(d0, r.phaseMask[vcWaitVA][d0]&lowMask)
+}
+
+// vaScanPort runs VC allocation for the masked waiting VCs of one port.
+func (r *Router) vaScanPort(d topology.Dir, m uint64) {
+	for m != 0 {
+		v := bits.TrailingZeros64(m)
+		m &= m - 1
 		vc := r.in[d][v]
-		if vc.phase != vcWaitVA {
-			continue
+		if vc.phase == vcWaitVA {
+			r.allocate(d, v, vc)
 		}
-		r.allocate(d, v, vc)
 	}
 }
 
@@ -401,6 +457,9 @@ func (r *Router) allocate(d topology.Dir, v int, vc *vcState) {
 		vc.stallAt = r.net.cycle
 		vc.wuFrom = r.net.cycle + uint64(dec.wuDelay)
 		vc.vaFails = 0
+		// The wake target may be dormant: put it on the worklist so its
+		// controller observes the asserted WU level this cycle.
+		r.net.activate(dec.wakeTarget)
 		return
 	case actEject:
 		// Local ejection needs no VC allocation; the Local "output VC" 0
@@ -449,20 +508,31 @@ func (r *Router) tickRC() {
 		return
 	}
 	for d := topology.Dir(0); d < topology.NumDirs; d++ {
-		for v, vc := range r.in[d] {
+		// Snapshot both masks up front: a resumed vcWaitWake VC re-enters
+		// vcRouting but must not be revisited this cycle (a full slot scan
+		// visits each VC once too).
+		m := r.phaseMask[vcRouting][d] | r.phaseMask[vcWaitWake][d]
+		for m != 0 {
+			v := bits.TrailingZeros64(m)
+			m &= m - 1
+			vc := r.in[d][v]
 			switch vc.phase {
 			case vcRouting:
 				if vc.head() == nil {
 					continue
 				}
 				r.setPhase(vc, vcWaitVA)
-				_ = v
 			case vcWaitWake:
 				// Resume once the target router woke (or an alternative
 				// appeared); the route is recomputed from scratch.
 				if r.net.routers[vc.target].on() || r.net.route(r, d, vc.head().Packet, 0).action != actWake {
 					r.net.noteWakeStall(r.net.cycle - vc.stallAt)
 					r.setPhase(vc, r.freshHeadPhase())
+				} else {
+					// Still stalled: keep the target on the worklist so
+					// it keeps seeing the WU level (its own queues give
+					// it nothing to stay awake for).
+					r.net.activate(vc.target)
 				}
 			}
 		}
@@ -500,7 +570,7 @@ func (r *Router) acceptFlit(d topology.Dir, f *flit.Flit) {
 // gating off under a flit already in flight.
 func (r *Router) incomingSoon() bool {
 	for d := topology.Dir(0); d < topology.Local; d++ {
-		nb, ok := r.net.mesh.Neighbor(r.id, d)
+		nb, ok := r.net.neighbor(r.id, d)
 		if !ok {
 			continue
 		}

@@ -36,6 +36,75 @@ type decision struct {
 	wuDelay    int
 }
 
+// routeTableMaxNodes bounds the meshes for which the quadratic per-pair
+// routing tables are precomputed (a 32x32 mesh costs ~5 MB). Larger
+// meshes compute directions arithmetically — still allocation-free.
+const routeTableMaxNodes = 1024
+
+// dirSet is a precomputed minimal-direction set (at most two directions
+// on a mesh), stored compactly in the per-pair routing table.
+type dirSet struct {
+	d   [2]topology.Dir
+	cnt uint8
+}
+
+// buildRouteTables precomputes the per-(src,dst) minimal-direction sets
+// and XY escape directions so route computation is a table lookup instead
+// of coordinate arithmetic plus a fresh slice per decision.
+func (n *Network) buildRouteTables() {
+	if n.nn > routeTableMaxNodes {
+		return
+	}
+	n.minDirs = make([]dirSet, n.nn*n.nn)
+	n.xyDirs = make([]topology.Dir, n.nn*n.nn)
+	for s := 0; s < n.nn; s++ {
+		for t := 0; t < n.nn; t++ {
+			var e dirSet
+			for _, d := range n.mesh.MinimalDirs(s, t) {
+				e.d[e.cnt] = d
+				e.cnt++
+			}
+			n.minDirs[s*n.nn+t] = e
+			n.xyDirs[s*n.nn+t] = n.mesh.XYDir(s, t)
+		}
+	}
+}
+
+// minimalDirSet returns the minimal-progress directions from src to dst
+// by value, so callers can slice a stack copy and reorder it in place
+// without touching the shared table.
+func (n *Network) minimalDirSet(src, dst int) dirSet {
+	if n.minDirs != nil {
+		return n.minDirs[src*n.nn+dst]
+	}
+	var e dirSet
+	sx, sy := n.mesh.Coord(src)
+	dx, dy := n.mesh.Coord(dst)
+	if dx > sx {
+		e.d[e.cnt] = topology.East
+		e.cnt++
+	} else if dx < sx {
+		e.d[e.cnt] = topology.West
+		e.cnt++
+	}
+	if dy > sy {
+		e.d[e.cnt] = topology.South
+		e.cnt++
+	} else if dy < sy {
+		e.d[e.cnt] = topology.North
+		e.cnt++
+	}
+	return e
+}
+
+// xyDir returns the XY (dimension-order) direction from src toward dst.
+func (n *Network) xyDir(src, dst int) topology.Dir {
+	if n.xyDirs != nil {
+		return n.xyDirs[src*n.nn+dst]
+	}
+	return n.mesh.XYDir(src, dst)
+}
+
 // escapeForceAfter is the number of failed VA attempts after which a
 // conventional design escalates: if its escape path runs through a
 // gated-off router, that router is awoken. This guarantees forward
@@ -73,33 +142,33 @@ func (n *Network) routeConv(r *Router, pkt *flit.Packet, vaFails int) decision {
 	base := n.p.vcBase(int(pkt.Class))
 	adaptiveLo := base + n.p.escapeVCs()
 	adaptiveHi := base + n.p.VCsPerClass
-	xy := n.mesh.XYDir(r.id, pkt.Dst)
+	xy := n.xyDir(r.id, pkt.Dst)
 	xyNb, _ := n.mesh.Neighbor(r.id, xy)
 
-	var dec decision
-	dec.cands = n.candScratch[:0]
-	defer func() { n.candScratch = dec.cands[:0] }()
+	cands := n.candScratch[:0]
 	if !pkt.Escaped {
 		// Adaptive candidates: minimal directions whose router is on,
 		// best-credit first.
-		dirs := n.mesh.MinimalDirs(r.id, pkt.Dst)
+		ds := n.minimalDirSet(r.id, pkt.Dst)
+		dirs := ds.d[:ds.cnt]
 		n.orderByCredit(r, dirs, adaptiveLo, adaptiveHi)
 		for _, d := range dirs {
-			nb, ok := n.mesh.Neighbor(r.id, d)
+			nb, ok := n.neighbor(r.id, d)
 			if !ok || !n.routers[nb].on() {
 				continue
 			}
 			for v := adaptiveLo; v < adaptiveHi; v++ {
-				dec.cands = append(dec.cands, cand{dir: d, vc: v})
+				cands = append(cands, cand{dir: d, vc: v})
 			}
 		}
 	}
 	// Escape fallback: the XY output's escape VC, usable only when that
 	// router is on.
 	if n.routers[xyNb].on() {
-		dec.cands = append(dec.cands, cand{dir: xy, vc: base, escape: true})
+		cands = append(cands, cand{dir: xy, vc: base, escape: true})
 	}
-	if len(dec.cands) == 0 {
+	n.candScratch = cands
+	if len(cands) == 0 {
 		// No usable output at all: stall and wake the XY-preferred
 		// neighbor (node-router dependence, Section 3).
 		return n.wakeDecision(xyNb)
@@ -110,7 +179,7 @@ func (n *Network) routeConv(r *Router, pkt *flit.Packet, vaFails int) decision {
 		// progress, so wake the escape router.
 		return n.wakeDecision(xyNb)
 	}
-	return dec
+	return decision{action: actPort, cands: cands}
 }
 
 // wakeDecision builds the stall-and-wake decision for conventional
@@ -152,14 +221,15 @@ func (n *Network) routeNoRD(r *Router, inDir topology.Dir, pkt *flit.Packet, vaF
 
 	var dec decision
 	dec.cands = n.candScratch[:0]
-	dirs := n.mesh.MinimalDirs(r.id, pkt.Dst)
+	ds := n.minimalDirSet(r.id, pkt.Dst)
+	dirs := ds.d[:ds.cnt]
 	n.orderByCredit(r, dirs, adaptiveLo, adaptiveHi)
 	usable := 0
 	for _, d := range dirs {
 		if d == inDir {
 			continue // no U-turns
 		}
-		nb, ok := n.mesh.Neighbor(r.id, d)
+		nb, ok := n.neighbor(r.id, d)
 		if !ok {
 			continue
 		}
@@ -219,7 +289,8 @@ func (n *Network) bypassCands(r *Router, pkt *flit.Packet, fails int) []cand {
 		return cands
 	}
 	misroute := true
-	for _, d := range n.mesh.MinimalDirs(r.id, pkt.Dst) {
+	ds := n.minimalDirSet(r.id, pkt.Dst)
+	for _, d := range ds.d[:ds.cnt] {
 		if d == ringOut {
 			misroute = false
 		}

@@ -1,0 +1,106 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+
+	"nord/internal/stats"
+	"nord/internal/traffic"
+)
+
+// goldenRun drives one sweep point to completion and returns everything
+// observable about it: the aggregate collector, the per-router reports and
+// the in-flight count.
+func goldenRun(t *testing.T, p Params, rate float64, seed int64, warmup, measure int) (*stats.NoC, []RouterReport, int) {
+	t.Helper()
+	n := MustNew(p)
+	inj := traffic.NewSynthetic(n, traffic.UniformRandom, rate, seed)
+	for c := 0; c < warmup; c++ {
+		inj.Tick(n.Cycle())
+		n.Tick()
+	}
+	n.BeginMeasurement()
+	for c := 0; c < measure; c++ {
+		inj.Tick(n.Cycle())
+		n.Tick()
+	}
+	n.FinishMeasurement()
+	return n.Collector(), n.PerRouterReports(), n.InFlight()
+}
+
+// TestEventSparseMatchesFullScan is the determinism golden test of the
+// event-sparse kernel: for every design, a mid-load sweep point run with
+// the active-worklist kernel must produce statistics bit-identical to the
+// same run with the full-scan kernel (Params.FullScanTick).
+func TestEventSparseMatchesFullScan(t *testing.T) {
+	cases := []struct {
+		name   string
+		rate   float64
+		mutate func(*Params)
+	}{
+		{"NoPG", 0.10, func(p *Params) { p.Design = NoPG }},
+		{"ConvPG", 0.10, func(p *Params) { p.Design = ConvPG }},
+		{"ConvPGOpt", 0.10, func(p *Params) { p.Design = ConvPGOpt }},
+		{"NoRD", 0.10, func(p *Params) { p.Design = NoRD }},
+		{"NoRD_aggressive_dynamic", 0.10, func(p *Params) {
+			p.Design = NoRD
+			p.AggressiveBypass = true
+			p.DynamicClassify = true
+			p.ReclassifyPeriod = 512
+		}},
+		{"NoRD_forced_off", 0.05, func(p *Params) {
+			p.Design = NoRD
+			p.ForcedOff = true
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams(NoPG)
+			p.Width, p.Height = 8, 8
+			tc.mutate(&p)
+
+			sparse := p
+			sparse.FullScanTick = false
+			full := p
+			full.FullScanTick = true
+
+			sCol, sPer, sInFlight := goldenRun(t, sparse, tc.rate, 7, 1000, 4000)
+			fCol, fPer, fInFlight := goldenRun(t, full, tc.rate, 7, 1000, 4000)
+
+			if sCol.PacketsDelivered == 0 {
+				t.Fatal("sweep point delivered no packets; test is vacuous")
+			}
+			if !reflect.DeepEqual(sCol, fCol) {
+				t.Errorf("collector statistics diverge:\nsparse: %+v\nfull:   %+v", sCol, fCol)
+			}
+			if !reflect.DeepEqual(sPer, fPer) {
+				for i := range sPer {
+					if !reflect.DeepEqual(sPer[i], fPer[i]) {
+						t.Errorf("router %d report diverges:\nsparse: %+v\nfull:   %+v", i, sPer[i], fPer[i])
+					}
+				}
+			}
+			if sInFlight != fInFlight {
+				t.Errorf("in-flight count diverges: sparse %d, full %d", sInFlight, fInFlight)
+			}
+		})
+	}
+}
+
+// TestSparseDormancy sanity-checks that the worklist actually shrinks: an
+// idle gated network must end up with (almost) no active nodes, otherwise
+// the kernel is correct but pointless.
+func TestSparseDormancy(t *testing.T) {
+	p := DefaultParams(NoRD)
+	p.Width, p.Height = 8, 8
+	n := MustNew(p)
+	n.Run(2000) // no traffic: everything gates off and goes dormant
+	if got := len(n.collectActive()); got != 0 {
+		t.Errorf("idle NoRD network keeps %d nodes active, want 0", got)
+	}
+	for id := 0; id < p.NumNodes(); id++ {
+		if n.RouterPowerOn(id) {
+			t.Fatalf("router %d still on in an idle gated network", id)
+		}
+	}
+}

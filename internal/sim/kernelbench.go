@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"nord/internal/noc"
+	"nord/internal/traffic"
+)
+
+// This file implements the tick-kernel benchmark harness behind
+// `nordbench -kernel`: the same 8x8 x 4-designs x 3-loads matrix as the
+// BenchmarkKernel Go benchmark, but self-contained so CI can emit a
+// machine-readable BENCH_kernel.json and gate on allocation regressions
+// without parsing `go test -bench` output.
+
+// KernelRates is the load matrix of the benchmark-regression harness:
+// low (most routers gated or idle), mid, and near-saturation load, in
+// flits/node/cycle under uniform-random traffic.
+var KernelRates = []float64{0.02, 0.10, 0.30}
+
+// KernelWarmup is the cycle count run before measurement starts; it fills
+// the flit pools, settles power-gating and reaches the steady state the
+// zero-allocation claim is about.
+const KernelWarmup = 2000
+
+// KernelAllocBudget is the allocation budget per simulated cycle at low
+// and mid load, where the kernel has a zero-allocation steady state: the
+// only tolerated allocations are rare amortised slice growths (a link
+// queue or the credit buffer stretching once), which stay far below this
+// threshold. The saturation point is reported but not gated (Budget 0):
+// past saturation the backlog — and therefore slice capacity — grows for
+// the whole run by design, so its allocs/cycle depends on the run length
+// rather than on the hot path.
+const KernelAllocBudget = 0.01
+
+// KernelPoint is one measured cell of the kernel benchmark matrix.
+type KernelPoint struct {
+	Design         string  `json:"design"`
+	Rate           float64 `json:"rate"`
+	Cycles         int     `json:"cycles"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	Budget         float64 `json:"alloc_budget"`
+}
+
+// Regressed reports whether the point blows its per-cycle allocation
+// budget. A zero budget means the point is not gated.
+func (p KernelPoint) Regressed() bool {
+	return p.Budget > 0 && p.AllocsPerCycle > p.Budget
+}
+
+// KernelReport is the BENCH_kernel.json document.
+type KernelReport struct {
+	Width     int           `json:"width"`
+	Height    int           `json:"height"`
+	Warmup    int           `json:"warmup_cycles"`
+	Measured  int           `json:"measured_cycles"`
+	Seed      int64         `json:"seed"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Points    []KernelPoint `json:"points"`
+}
+
+// Regressions returns the points that exceed the allocation budget.
+func (r *KernelReport) Regressions() []KernelPoint {
+	var bad []KernelPoint
+	for _, p := range r.Points {
+		if p.Regressed() {
+			bad = append(bad, p)
+		}
+	}
+	return bad
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *KernelReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// KernelBench runs the kernel benchmark matrix: for each design and load,
+// an 8x8 network is warmed up for KernelWarmup cycles and then ticked
+// `measure` times under the wall clock and the allocator counters
+// (runtime.MemStats deltas). progress may be nil.
+func KernelBench(measure int, seed int64, progress func(string)) (*KernelReport, error) {
+	if measure < 1 {
+		return nil, fmt.Errorf("sim: kernel benchmark needs a positive cycle count, got %d", measure)
+	}
+	rep := &KernelReport{
+		Width: 8, Height: 8,
+		Warmup: KernelWarmup, Measured: measure, Seed: seed,
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+	}
+	for _, d := range FullDesigns() {
+		for _, rate := range KernelRates {
+			if progress != nil {
+				progress(fmt.Sprintf("%s / rate %.2f", d, rate))
+			}
+			pt, err := kernelPoint(d, rate, measure, seed)
+			if err != nil {
+				return nil, err
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	return rep, nil
+}
+
+func kernelPoint(d noc.Design, rate float64, measure int, seed int64) (KernelPoint, error) {
+	p := noc.DefaultParams(d)
+	p.Width, p.Height = 8, 8
+	n, err := noc.New(p)
+	if err != nil {
+		return KernelPoint{}, err
+	}
+	inj := traffic.NewSynthetic(n, traffic.UniformRandom, rate, seed)
+	for c := 0; c < KernelWarmup; c++ {
+		inj.Tick(n.Cycle())
+		if err := n.Step(); err != nil {
+			return KernelPoint{}, err
+		}
+	}
+	// Settle the allocator so the measured Mallocs delta reflects the tick
+	// path, not garbage left over from construction and warmup.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for c := 0; c < measure; c++ {
+		inj.Tick(n.Cycle())
+		if err := n.Step(); err != nil {
+			return KernelPoint{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	budget := KernelAllocBudget
+	if rate >= 0.3 {
+		budget = 0 // saturation: reported, not gated
+	}
+	pt := KernelPoint{
+		Design: d.String(), Rate: rate, Cycles: measure, Budget: budget,
+		NsPerCycle:     float64(elapsed.Nanoseconds()) / float64(measure),
+		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(measure),
+		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(measure),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		pt.CyclesPerSec = float64(measure) / s
+	}
+	return pt, nil
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestKernelBench runs a miniature kernel benchmark and checks the report
+// shape: one point per (design, load) cell, sane metrics, and a JSON
+// round-trip (the BENCH_kernel.json CI artifact).
+func TestKernelBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kernel benchmark matrix is slow under -short")
+	}
+	const cycles = 300
+	rep, err := KernelBench(cycles, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(FullDesigns()) * len(KernelRates)
+	if len(rep.Points) != want {
+		t.Fatalf("got %d points, want %d", len(rep.Points), want)
+	}
+	for _, p := range rep.Points {
+		if p.Cycles != cycles {
+			t.Errorf("%s rate %.2f: measured %d cycles, want %d", p.Design, p.Rate, p.Cycles, cycles)
+		}
+		if p.NsPerCycle <= 0 || p.CyclesPerSec <= 0 {
+			t.Errorf("%s rate %.2f: non-positive timing (%f ns/cycle, %f cycles/sec)",
+				p.Design, p.Rate, p.NsPerCycle, p.CyclesPerSec)
+		}
+		if p.AllocsPerCycle < 0 || p.Budget < 0 {
+			t.Errorf("%s rate %.2f: bad allocation accounting (%f/cycle, budget %f)",
+				p.Design, p.Rate, p.AllocsPerCycle, p.Budget)
+		}
+		if p.Rate < 0.3 && p.Budget == 0 {
+			t.Errorf("%s rate %.2f: low/mid-load point must be gated", p.Design, p.Rate)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back KernelReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Points) != len(rep.Points) || back.Width != 8 || back.Height != 8 {
+		t.Errorf("round-tripped report lost fields: %+v", back)
+	}
+}
+
+func TestKernelBenchRejectsBadCycleCount(t *testing.T) {
+	if _, err := KernelBench(0, 1, nil); err == nil {
+		t.Fatal("expected an error for a zero cycle count")
+	}
+}

@@ -47,12 +47,24 @@ func runtimeFailure(err error) bool {
 	return errors.As(err, &de) || errors.As(err, &pe) || errors.As(err, &ue) || errors.As(err, &pf)
 }
 
+// workerCount returns the number of pool workers for n jobs: one per
+// available CPU, never more than there are jobs.
+func workerCount(n int) int {
+	w := max(1, runtime.GOMAXPROCS(0))
+	if w > n {
+		w = n
+	}
+	return w
+}
+
 // ParallelLoadSweep is LoadSweep with the (design, rate) points executed
 // concurrently across CPU cores. Each simulation is single-threaded and
 // fully independent, so the sweep parallelises embarrassingly; results
 // are returned in the same deterministic order as LoadSweep. A failed
 // point (deadlock, protocol violation, panic) is recorded in its
-// SweepPoint's Err field and the sweep keeps going.
+// SweepPoint's Err field and the sweep keeps going. A fixed pool of
+// GOMAXPROCS workers drains a job channel, so the goroutine count is
+// bounded by the core count rather than the sweep size.
 func ParallelLoadSweep(w, h int, pattern string, rates []float64, measure int, seed int64) ([]SweepPoint, error) {
 	type job struct {
 		idx    int
@@ -67,35 +79,42 @@ func ParallelLoadSweep(w, h int, pattern string, rates []float64, measure int, s
 	}
 	out := make([]SweepPoint, len(jobs))
 	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			r, err := runGuarded(func() (Result, error) {
-				return RunSynthetic(SynthConfig{
-					Design: j.design, Width: w, Height: h, Pattern: pattern,
-					Rate: j.rate, Measure: measure, Seed: seed,
-				})
-			})
-			pt := SweepPoint{Design: j.design, Rate: j.rate}
-			switch {
-			case err != nil && runtimeFailure(err):
-				pt.Err = err.Error()
-			case err != nil:
-				errs[j.idx] = err
-			default:
-				pt.AvgLatency = r.AvgPacketLatency
-				pt.PowerW = r.AvgPowerW
-				pt.Throughput = r.Throughput
-				pt.Saturated = r.AvgPacketLatency > satLatency
-			}
-			out[j.idx] = pt
-		}(j)
+	if len(jobs) == 0 {
+		return out, nil
 	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workerCount(len(jobs)); wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				r, err := runGuarded(func() (Result, error) {
+					return RunSynthetic(SynthConfig{
+						Design: j.design, Width: w, Height: h, Pattern: pattern,
+						Rate: j.rate, Measure: measure, Seed: seed,
+					})
+				})
+				pt := SweepPoint{Design: j.design, Rate: j.rate}
+				switch {
+				case err != nil && runtimeFailure(err):
+					pt.Err = err.Error()
+				case err != nil:
+					errs[j.idx] = err
+				default:
+					pt.AvgLatency = r.AvgPacketLatency
+					pt.PowerW = r.AvgPowerW
+					pt.Throughput = r.Throughput
+					pt.Saturated = r.AvgPacketLatency > satLatency
+				}
+				out[j.idx] = pt
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -122,35 +141,47 @@ func ParallelSuite(scale float64, seed int64, progress func(string)) (*SuiteResu
 	}
 	results := make([]Result, len(cells))
 	errs := make([]error, len(cells))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
-	for i, c := range cells {
-		wg.Add(1)
-		go func(i int, c cell) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if progress != nil {
-				progress(fmt.Sprintf("%s / %s", c.bench, c.design))
-			}
-			r, err := runGuarded(func() (Result, error) {
-				return RunWorkload(WorkloadConfig{Design: c.design, Benchmark: c.bench, Scale: scale, Seed: seed})
-			})
-			if err != nil && runtimeFailure(err) {
-				// Record the failed cell and keep the rest of the suite
-				// alive; callers see the failure in Result.Err.
-				r.Design = c.design
-				r.Label = c.bench
-				r.Err = fmt.Errorf("sim: %s on %v: %w", c.bench, c.design, err).Error()
-				err = nil
-			}
-			if err != nil {
-				errs[i] = fmt.Errorf("sim: %s on %v: %w", c.bench, c.design, err)
-				return
-			}
-			results[i] = r
-		}(i, c)
+	if len(cells) == 0 {
+		return sr, nil
 	}
+	type idxCell struct {
+		idx int
+		c   cell
+	}
+	ch := make(chan idxCell)
+	var wg sync.WaitGroup
+	for wk := 0; wk < workerCount(len(cells)); wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ic := range ch {
+				i, c := ic.idx, ic.c
+				if progress != nil {
+					progress(fmt.Sprintf("%s / %s", c.bench, c.design))
+				}
+				r, err := runGuarded(func() (Result, error) {
+					return RunWorkload(WorkloadConfig{Design: c.design, Benchmark: c.bench, Scale: scale, Seed: seed})
+				})
+				if err != nil && runtimeFailure(err) {
+					// Record the failed cell and keep the rest of the suite
+					// alive; callers see the failure in Result.Err.
+					r.Design = c.design
+					r.Label = c.bench
+					r.Err = fmt.Errorf("sim: %s on %v: %w", c.bench, c.design, err).Error()
+					err = nil
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("sim: %s on %v: %w", c.bench, c.design, err)
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i, c := range cells {
+		ch <- idxCell{idx: i, c: c}
+	}
+	close(ch)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -215,10 +215,19 @@ func NewWindow(n int) *Window {
 
 // Push appends the current cycle's count, evicting the oldest.
 func (w *Window) Push(v uint32) {
+	if v == 0 && w.sum == 0 {
+		// The sum equals the slot total, so every slot is already zero:
+		// pushing another zero leaves the window unchanged and the head
+		// position is unobservable.
+		return
+	}
 	w.sum -= uint64(w.slots[w.head])
 	w.slots[w.head] = v
 	w.sum += uint64(v)
-	w.head = (w.head + 1) % len(w.slots)
+	w.head++
+	if w.head == len(w.slots) {
+		w.head = 0
+	}
 }
 
 // Sum returns the windowed total.
@@ -260,6 +269,26 @@ func (it *IdleTracker) Record(busy bool) {
 	} else {
 		it.idleRun++
 		it.idleTotal++
+	}
+}
+
+// RecordRun notes n consecutive cycles of the same state in one step,
+// exactly equivalent to n successive Record(busy) calls. The event-sparse
+// kernel uses it to account a whole dormant stretch when a sleeping
+// router is re-activated.
+func (it *IdleTracker) RecordRun(busy bool, n uint64) {
+	if n == 0 {
+		return
+	}
+	if busy {
+		if it.idleRun > 0 {
+			it.hist.Add(it.idleRun)
+			it.idleRun = 0
+		}
+		it.busyTotal += n
+	} else {
+		it.idleRun += n
+		it.idleTotal += n
 	}
 }
 

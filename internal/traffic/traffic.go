@@ -168,12 +168,17 @@ func (s *Synthetic) Tick(cycle uint64) {
 				s.dropped++
 			}
 		}
-		// Drain the source queue into the NI.
+		// Drain the source queue into the NI. Dequeue by copying down so
+		// the slice keeps its capacity (reslicing would leak it and force
+		// a reallocation per MaxPending packets).
 		for len(s.pending[src]) > 0 {
 			if !s.Net.Inject(s.pending[src][0]) {
 				break
 			}
-			s.pending[src] = s.pending[src][1:]
+			q := s.pending[src]
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			s.pending[src] = q[:len(q)-1]
 		}
 	}
 }
@@ -264,7 +269,10 @@ func (b *Bursty) Tick(cycle uint64) {
 			if !b.Net.Inject(b.pending[src][0]) {
 				break
 			}
-			b.pending[src] = b.pending[src][1:]
+			q := b.pending[src]
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			b.pending[src] = q[:len(q)-1]
 		}
 	}
 }
