@@ -24,20 +24,6 @@ import (
 	"nord/internal/sim"
 )
 
-func designByName(s string) (noc.Design, error) {
-	switch s {
-	case "no_pg", "nopg", "baseline":
-		return noc.NoPG, nil
-	case "conv_pg", "conv":
-		return noc.ConvPG, nil
-	case "conv_pg_opt", "opt":
-		return noc.ConvPGOpt, nil
-	case "nord":
-		return noc.NoRD, nil
-	}
-	return 0, fmt.Errorf("unknown design %q (no_pg, conv_pg, conv_pg_opt, nord)", s)
-}
-
 func main() {
 	var (
 		width       = flag.Int("width", 8, "mesh width")
@@ -70,7 +56,7 @@ func main() {
 	}
 	if *designs != "" {
 		for _, name := range strings.Split(*designs, ",") {
-			d, err := designByName(strings.TrimSpace(name))
+			d, err := noc.DesignByName(name)
 			if err != nil {
 				fail(err)
 			}

@@ -1,0 +1,83 @@
+// Command nordserved serves NoC simulations over HTTP: jobs are
+// submitted as JSON, scheduled on a bounded worker pool, and memoized in
+// a content-addressed result cache so identical configurations are
+// simulated exactly once.
+//
+//	nordserved -addr :8080 -workers 4 -cache-dir /var/cache/nord
+//
+//	curl -s localhost:8080/v1/jobs -d '{"kind":"synthetic","synthetic":{"design":"nord","rate":0.05}}'
+//	curl -s localhost:8080/v1/jobs/j000001
+//	curl -sN localhost:8080/v1/jobs/j000001/events
+//	curl -s localhost:8080/metrics
+//
+// On SIGTERM/SIGINT the server drains: intake stops (503), queued and
+// running jobs get -drain-timeout to finish, then stragglers are
+// canceled cooperatively through the sim layer's context polling.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nord/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "queued-job limit before submissions get 429")
+		cacheEntries = flag.Int("cache-entries", 512, "in-memory result cache capacity")
+		cacheDir     = flag.String("cache-dir", "", "directory for on-disk cache spill (empty disables)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+	)
+	flag.Parse()
+
+	srv, err := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("nordserved listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("nordserved: %s, draining (budget %s)\n", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "nordserved: drain incomplete: %v\n", err)
+		}
+		_ = httpSrv.Shutdown(context.Background())
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -57,20 +57,6 @@ func startProfiles(cpu, mem string) (func(), error) {
 	}, nil
 }
 
-func designByName(s string) (noc.Design, error) {
-	switch s {
-	case "no_pg", "nopg", "baseline":
-		return noc.NoPG, nil
-	case "conv_pg", "conv":
-		return noc.ConvPG, nil
-	case "conv_pg_opt", "opt":
-		return noc.ConvPGOpt, nil
-	case "nord":
-		return noc.NoRD, nil
-	}
-	return 0, fmt.Errorf("unknown design %q (no_pg, conv_pg, conv_pg_opt, nord)", s)
-}
-
 func main() {
 	var (
 		design      = flag.String("design", "nord", "no_pg, conv_pg, conv_pg_opt or nord")
@@ -126,7 +112,7 @@ func main() {
 		return
 	}
 
-	d, err := designByName(*design)
+	d, err := noc.DesignByName(*design)
 	if err != nil {
 		fail(err)
 	}

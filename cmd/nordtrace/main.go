@@ -56,46 +56,48 @@ func main() {
 		}
 		designs := sim.FullDesigns()
 		if *design != "" {
-			d, err := designByName(*design)
+			d, err := noc.DesignByName(*design)
 			if err != nil {
 				fail(err)
 			}
 			designs = []noc.Design{d}
 		}
 		fmt.Printf("replaying %d packets (%d nodes) from %s\n\n", len(tr.Events), tr.Nodes, *replay)
+		// A structured runtime failure (deadlock, replay timeout) still
+		// carries partial statistics in the Result; print what was
+		// measured, then exit non-zero so scripts notice the failure.
+		failed := false
 		if len(designs) == 1 {
 			res, err := sim.ReplayTrace(sim.TraceConfig{Design: designs[0], Path: *replay, Warmup: *warmup, Seed: *seed}, tr)
-			if err != nil {
+			if err != nil && res.Err == "" {
 				fail(err)
 			}
 			fmt.Print(sim.FormatResult(res))
+			if res.Err != "" {
+				fmt.Fprintf(os.Stderr, "replay failed: %s\n", res.Err)
+				os.Exit(2)
+			}
 			return
 		}
 		fmt.Printf("%-14s %10s %10s %12s %10s %10s\n", "design", "latency", "wakeups", "static(uJ)", "off%", "power(W)")
 		for _, d := range designs {
 			res, err := sim.ReplayTrace(sim.TraceConfig{Design: d, Path: *replay, Warmup: *warmup, Seed: *seed}, tr)
-			if err != nil {
+			if err != nil && res.Err == "" {
 				fail(err)
+			}
+			if res.Err != "" {
+				failed = true
+				fmt.Printf("%-14s %10s  %s\n", d, "FAILED", res.Err)
+				continue
 			}
 			fmt.Printf("%-14s %10.1f %10d %12.3f %9.0f%% %10.2f\n",
 				d, res.AvgPacketLatency, res.Wakeups, res.Energy.RouterStatic*1e6, 100*res.OffFraction, res.AvgPowerW)
+		}
+		if failed {
+			os.Exit(2)
 		}
 
 	default:
 		flag.Usage()
 	}
-}
-
-func designByName(s string) (noc.Design, error) {
-	switch s {
-	case "no_pg", "nopg", "baseline":
-		return noc.NoPG, nil
-	case "conv_pg", "conv":
-		return noc.ConvPG, nil
-	case "conv_pg_opt", "opt":
-		return noc.ConvPGOpt, nil
-	case "nord":
-		return noc.NoRD, nil
-	}
-	return 0, fmt.Errorf("unknown design %q", s)
 }

@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -287,10 +288,29 @@ func (s *System) Done() bool {
 // time in cycles (the cycle the last core finished) and an error on
 // timeout.
 func (s *System) Run(maxCycles uint64) (uint64, error) {
+	return s.RunCtx(context.Background(), maxCycles, 0, nil)
+}
+
+// RunCtx is Run with cooperative cancellation: every `every` cycles
+// (0 selects 1024) it polls ctx — returning its error on cancellation, so
+// aborted jobs stop burning CPU within a bounded number of cycles — and
+// invokes the optional hook (the sim layer's progress snapshotter).
+func (s *System) RunCtx(ctx context.Context, maxCycles, every uint64, hook func(cycle uint64)) (uint64, error) {
+	if every == 0 {
+		every = 1024
+	}
 	for s.now() < maxCycles {
 		s.Tick()
 		if s.Done() {
 			return s.now(), nil
+		}
+		if s.now()%every == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			if hook != nil {
+				hook(s.now())
+			}
 		}
 	}
 	return 0, fmt.Errorf("memsys: workload %q did not finish within %d cycles", s.prof.Name, maxCycles)

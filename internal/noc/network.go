@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -543,6 +544,57 @@ func (n *Network) Run(cycles int) {
 	for i := 0; i < cycles; i++ {
 		n.Tick()
 	}
+}
+
+// defaultCheckEvery is the cycle interval between context polls in the
+// cooperatively cancellable loops: coarse enough to stay off the hot
+// path, fine enough that a canceled run stops within ~a kilocycle.
+const defaultCheckEvery = 1024
+
+// RunCtx advances the network by up to the given number of cycles,
+// polling ctx every checkEvery cycles (0 selects the 1024 default). It
+// returns the context's error on cancellation, or the first structured
+// Step error.
+func (n *Network) RunCtx(ctx context.Context, cycles, checkEvery int) error {
+	if checkEvery <= 0 {
+		checkEvery = defaultCheckEvery
+	}
+	for i := 0; i < cycles; i++ {
+		if err := n.Step(); err != nil {
+			return err
+		}
+		if (i+1)%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DrainCtx is Drain with cooperative cancellation: ctx is polled every
+// checkEvery cycles (0 selects the 1024 default).
+func (n *Network) DrainCtx(ctx context.Context, maxCycles, checkEvery int) error {
+	if checkEvery <= 0 {
+		checkEvery = defaultCheckEvery
+	}
+	for i := 0; i < maxCycles; i++ {
+		if n.Quiescent() {
+			return nil
+		}
+		if err := n.Step(); err != nil {
+			return err
+		}
+		if (i+1)%checkEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	if !n.Quiescent() {
+		return fmt.Errorf("noc: %d packets still in flight after %d drain cycles", n.inFlight, maxCycles)
+	}
+	return nil
 }
 
 // Drain runs until all in-flight packets are delivered (and, with faults

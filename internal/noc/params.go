@@ -5,7 +5,10 @@
 // (No_PG, Conv_PG, Conv_PG_OPT and NoRD with its decoupling bypass ring).
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Design selects the power-gating scheme (Section 5.1's comparison set).
 type Design int
@@ -46,6 +49,26 @@ func (d Design) String() string {
 
 // PowerGated reports whether the design gates routers at all.
 func (d Design) PowerGated() bool { return d != NoPG }
+
+// Designs returns the paper's full comparison set in presentation order.
+func Designs() []Design { return []Design{NoPG, ConvPG, ConvPGOpt, NoRD} }
+
+// DesignByName parses a design name: the canonical String() forms
+// (case-insensitively) plus the short aliases the CLIs and the serve API
+// accept.
+func DesignByName(s string) (Design, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "no_pg", "nopg", "baseline":
+		return NoPG, nil
+	case "conv_pg", "conv", "convpg":
+		return ConvPG, nil
+	case "conv_pg_opt", "opt", "convpgopt":
+		return ConvPGOpt, nil
+	case "nord":
+		return NoRD, nil
+	}
+	return 0, fmt.Errorf("noc: unknown design %q (no_pg, conv_pg, conv_pg_opt, nord)", s)
+}
 
 // Params configures a network. The zero value is not usable; start from
 // DefaultParams.

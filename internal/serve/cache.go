@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the content-addressed result cache: an in-memory LRU over
+// canonical cache keys holding marshalled job results, with an optional
+// on-disk spill directory. Evicted entries are written to the spill
+// directory and transparently reloaded (and re-promoted) on a later miss,
+// so a small memory budget still serves a large working set.
+type Cache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[string]*list.Element
+	dir string // "" disables the disk spill
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a cache holding up to capacity in-memory entries, with
+// an optional spill directory (created if missing; "" disables spilling).
+func NewCache(capacity int, spillDir string) (*Cache, error) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if spillDir != "" {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: creating cache spill dir: %w", err)
+		}
+	}
+	return &Cache{cap: capacity, ll: list.New(), m: map[string]*list.Element{}, dir: spillDir}, nil
+}
+
+// Get returns the cached result for key, consulting memory first and the
+// spill directory second (promoting a disk hit back into memory).
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*cacheEntry).val, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	val, err := os.ReadFile(c.spillPath(key))
+	if err != nil {
+		return nil, false
+	}
+	c.insertLocked(key, val)
+	return val, true
+}
+
+// Put inserts (or refreshes) a result, evicting the least recently used
+// entries to the spill directory when over capacity.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(key, val)
+}
+
+func (c *Cache) insertLocked(key string, val []byte) {
+	if el, ok := c.m[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		ent := back.Value.(*cacheEntry)
+		if c.dir != "" {
+			// A failed spill write only costs a future recompute.
+			_ = os.WriteFile(c.spillPath(ent.key), ent.val, 0o644)
+		}
+		c.ll.Remove(back)
+		delete(c.m, ent.key)
+	}
+}
+
+// Len returns the number of in-memory entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// spillPath maps a key to its spill file; keys are hex digests, so they
+// are filesystem-safe by construction.
+func (c *Cache) spillPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

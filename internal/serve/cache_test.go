@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (no spill dir)")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "A" {
+		t.Fatal("a lost")
+	}
+	if v, ok := c.Get("c"); !ok || string(v) != "C" {
+		t.Fatal("c lost")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len=%d", c.Len())
+	}
+}
+
+func TestCacheDiskSpillAndPromote(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k1", []byte("one"))
+	c.Put("k2", []byte("two")) // spills k1 to disk
+	if _, err := os.Stat(filepath.Join(dir, "k1.json")); err != nil {
+		t.Fatalf("k1 not spilled: %v", err)
+	}
+	// Disk hit reloads and promotes k1, spilling k2.
+	v, ok := c.Get("k1")
+	if !ok || string(v) != "one" {
+		t.Fatalf("disk hit failed: %q %v", v, ok)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "k2.json")); err != nil {
+		t.Fatalf("k2 not spilled on promote: %v", err)
+	}
+	if v, ok := c.Get("k2"); !ok || string(v) != "two" {
+		t.Fatalf("k2 lost after spill: %q %v", v, ok)
+	}
+}
+
+func TestCacheSpillSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ { // overflow so half the keys spill
+		c1.Put(fmt.Sprintf("key%d", i), []byte(fmt.Sprintf("val%d", i)))
+	}
+	// A fresh cache over the same directory serves the spilled keys.
+	c2, err := NewCache(4, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		want := fmt.Sprintf("val%d", i)
+		if v, ok := c2.Get(fmt.Sprintf("key%d", i)); !ok || string(v) != want {
+			t.Fatalf("key%d not recovered from spill: %q %v", i, v, ok)
+		}
+	}
+}
+
+func TestCachePutRefreshes(t *testing.T) {
+	c, err := NewCache(2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("a", []byte("old"))
+	c.Put("a", []byte("new"))
+	if v, _ := c.Get("a"); string(v) != "new" {
+		t.Fatalf("got %q", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("duplicate insert: Len=%d", c.Len())
+	}
+}

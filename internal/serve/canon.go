@@ -1,0 +1,169 @@
+// Package serve is the simulation-as-a-service layer: an HTTP/JSON job
+// API over the sim runners with a content-addressed result cache, a
+// bounded worker-pool scheduler with queue-depth backpressure, NDJSON
+// progress streaming, Prometheus-text metrics and graceful drain.
+//
+// Identical design points are deduplicated twice over: concurrent
+// submissions of the same canonical config coalesce onto one in-flight
+// job, and completed runs are memoized under a canonical hash of the
+// fully-filled config, so repeated sweeps and design comparisons cost one
+// simulation each.
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+)
+
+// CanonicalJSON serialises v deterministically for content addressing:
+// struct fields and map keys are emitted sorted by name, floats in
+// shortest round-trip form, nil pointers as null, and nil slices as [] —
+// so a semantically identical config always yields the same bytes,
+// independent of Go struct field order, map iteration order, or whether
+// defaults were filled explicitly or implicitly.
+func CanonicalJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeCanonical(&buf, reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeCanonical(buf *bytes.Buffer, v reflect.Value) error {
+	if !v.IsValid() {
+		buf.WriteString("null")
+		return nil
+	}
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			buf.WriteString("null")
+			return nil
+		}
+		return writeCanonical(buf, v.Elem())
+	case reflect.Struct:
+		t := v.Type()
+		type field struct {
+			name string
+			val  reflect.Value
+		}
+		fields := make([]field, 0, t.NumField())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			fields = append(fields, field{f.Name, v.Field(i)})
+		}
+		sort.Slice(fields, func(i, j int) bool { return fields[i].name < fields[j].name })
+		buf.WriteByte('{')
+		for i, f := range fields {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			writeJSONString(buf, f.name)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, f.val); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+		return nil
+	case reflect.Map:
+		type pair struct {
+			key string
+			val reflect.Value
+		}
+		pairs := make([]pair, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			k := iter.Key()
+			var ks string
+			if k.Kind() == reflect.String {
+				ks = k.String()
+			} else {
+				ks = fmt.Sprint(k.Interface())
+			}
+			pairs = append(pairs, pair{ks, iter.Value()})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].key < pairs[j].key })
+		buf.WriteByte('{')
+		for i, p := range pairs {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			writeJSONString(buf, p.key)
+			buf.WriteByte(':')
+			if err := writeCanonical(buf, p.val); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+		return nil
+	case reflect.Slice, reflect.Array:
+		buf.WriteByte('[')
+		for i := 0; i < v.Len(); i++ {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeCanonical(buf, v.Index(i)); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+		return nil
+	case reflect.Bool:
+		buf.WriteString(strconv.FormatBool(v.Bool()))
+		return nil
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		buf.WriteString(strconv.FormatInt(v.Int(), 10))
+		return nil
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		buf.WriteString(strconv.FormatUint(v.Uint(), 10))
+		return nil
+	case reflect.Float32, reflect.Float64:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("serve: cannot canonicalise non-finite float %v", f)
+		}
+		bits := 64
+		if v.Kind() == reflect.Float32 {
+			bits = 32
+		}
+		buf.WriteString(strconv.FormatFloat(f, 'g', -1, bits))
+		return nil
+	case reflect.String:
+		writeJSONString(buf, v.String())
+		return nil
+	default:
+		return fmt.Errorf("serve: cannot canonicalise kind %v", v.Kind())
+	}
+}
+
+func writeJSONString(buf *bytes.Buffer, s string) {
+	b, _ := json.Marshal(s) // marshalling a string cannot fail
+	buf.Write(b)
+}
+
+// CacheKey returns the content address of a job: the hex SHA-256 over the
+// job kind and the canonical encoding of its fully-filled config. Two
+// requests that resolve to the same simulation share a key, whatever the
+// JSON field order or defaulting path that produced them.
+func CacheKey(kind string, cfg any) (string, error) {
+	b, err := CanonicalJSON(cfg)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

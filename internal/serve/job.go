@@ -1,0 +1,201 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"nord/internal/stats"
+)
+
+// JobState is a job's lifecycle state.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// maxProgressHistory bounds the per-job snapshot history replayed to new
+// /events subscribers; when exceeded, the oldest half is dropped.
+const maxProgressHistory = 4096
+
+// Job is one submitted simulation: its identity (ID for clients, Key for
+// the content-addressed cache), its lifecycle state, the marshalled
+// result once done, and the progress-snapshot fan-out for /events
+// streams.
+type Job struct {
+	ID      string
+	Key     string
+	Kind    string
+	Created time.Time
+
+	task *task
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	state    JobState
+	cacheHit bool
+	result   []byte
+	errMsg   string
+	progress []stats.Progress
+	subs     map[chan stats.Progress]struct{}
+}
+
+func newJob(id string, t *task) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Job{
+		ID:      id,
+		Key:     t.key,
+		Kind:    t.kind,
+		Created: time.Now(),
+		task:    t,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   JobQueued,
+		subs:    map[chan stats.Progress]struct{}{},
+	}
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// markRunning transitions queued→running; it reports false when the job
+// was canceled while still queued (the worker must skip it).
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	return true
+}
+
+// finish records the terminal state and closes every subscriber stream.
+// It is a no-op if the job is already terminal.
+func (j *Job) finish(state JobState, result []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.state = state
+	j.result = result
+	j.errMsg = errMsg
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = map[chan stats.Progress]struct{}{}
+}
+
+// completeFromCache marks the job done with a memoized result.
+func (j *Job) completeFromCache(result []byte) {
+	j.mu.Lock()
+	j.cacheHit = true
+	j.mu.Unlock()
+	j.finish(JobDone, result, "")
+}
+
+// Cancel requests cancellation: a queued job transitions to canceled
+// immediately; a running job's context is canceled and the worker
+// finalises it within the sim layer's poll bound.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if queued {
+		j.finish(JobCanceled, nil, "canceled while queued")
+	}
+	j.cancel()
+}
+
+// publish appends a progress snapshot and fans it out to subscribers
+// (dropping snapshots for subscribers whose buffer is full — streams are
+// best-effort, the history is authoritative).
+func (j *Job) publish(p stats.Progress) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.progress) >= maxProgressHistory {
+		j.progress = append(j.progress[:0], j.progress[len(j.progress)/2:]...)
+	}
+	j.progress = append(j.progress, p)
+	for ch := range j.subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+}
+
+// subscribe returns the snapshot history so far and a channel of future
+// snapshots; the channel is closed when the job reaches a terminal state.
+// Call the returned cancel function when done reading.
+func (j *Job) subscribe() ([]stats.Progress, chan stats.Progress, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history := append([]stats.Progress(nil), j.progress...)
+	ch := make(chan stats.Progress, 64)
+	if j.state.Terminal() {
+		close(ch)
+		return history, ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	return history, ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[ch]; ok {
+			delete(j.subs, ch)
+			close(ch)
+		}
+	}
+}
+
+// JobStatus is the GET /v1/jobs/{id} response body.
+type JobStatus struct {
+	ID       string          `json:"id"`
+	Kind     string          `json:"kind"`
+	Key      string          `json:"key"`
+	State    JobState        `json:"state"`
+	Cached   bool            `json:"cached"`
+	Error    string          `json:"error,omitempty"`
+	Progress *stats.Progress `json:"progress,omitempty"`
+	Result   json.RawMessage `json:"result,omitempty"`
+}
+
+// status snapshots the job for the API.
+func (j *Job) status(includeResult bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:     j.ID,
+		Kind:   j.Kind,
+		Key:    j.Key,
+		State:  j.state,
+		Cached: j.cacheHit,
+		Error:  j.errMsg,
+	}
+	if n := len(j.progress); n > 0 {
+		p := j.progress[n-1]
+		st.Progress = &p
+	}
+	if includeResult && j.state == JobDone {
+		st.Result = json.RawMessage(j.result)
+	}
+	return st
+}

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Metrics is the serve layer's counter set, rendered in Prometheus text
+// exposition format at /metrics. Counters are cumulative since process
+// start; gauges are sampled at scrape time by the server.
+type Metrics struct {
+	JobsSubmitted atomic.Uint64 // accepted submissions, including cache hits
+	JobsRejected  atomic.Uint64 // 429 queue-full rejections
+	JobsDone      atomic.Uint64
+	JobsFailed    atomic.Uint64
+	JobsCanceled  atomic.Uint64
+	SimsExecuted  atomic.Uint64 // simulations actually run (not served from cache)
+	CacheHits     atomic.Uint64 // coalesced onto an in-flight job or served from cache
+	CacheMisses   atomic.Uint64
+	SimCycles     atomic.Uint64 // cumulative simulated cycles across all jobs
+}
+
+// Gauges are the point-in-time values the server samples at scrape time.
+type Gauges struct {
+	QueueDepth   int
+	Workers      int
+	BusyWorkers  int
+	CacheEntries int
+	JobsQueued   int
+	JobsRunning  int
+}
+
+// WriteProm renders the metrics in Prometheus text exposition format.
+func (m *Metrics) WriteProm(w io.Writer, g Gauges) {
+	fmt.Fprintf(w, "# HELP nord_jobs_total Jobs that reached a terminal state, by state.\n")
+	fmt.Fprintf(w, "# TYPE nord_jobs_total counter\n")
+	fmt.Fprintf(w, "nord_jobs_total{state=\"done\"} %d\n", m.JobsDone.Load())
+	fmt.Fprintf(w, "nord_jobs_total{state=\"failed\"} %d\n", m.JobsFailed.Load())
+	fmt.Fprintf(w, "nord_jobs_total{state=\"canceled\"} %d\n", m.JobsCanceled.Load())
+	fmt.Fprintf(w, "# HELP nord_jobs_submitted_total Accepted job submissions (including cache hits).\n")
+	fmt.Fprintf(w, "# TYPE nord_jobs_submitted_total counter\n")
+	fmt.Fprintf(w, "nord_jobs_submitted_total %d\n", m.JobsSubmitted.Load())
+	fmt.Fprintf(w, "# HELP nord_jobs_rejected_total Submissions rejected with 429 (queue full).\n")
+	fmt.Fprintf(w, "# TYPE nord_jobs_rejected_total counter\n")
+	fmt.Fprintf(w, "nord_jobs_rejected_total %d\n", m.JobsRejected.Load())
+	fmt.Fprintf(w, "# HELP nord_sims_executed_total Simulations actually executed (cache misses that ran).\n")
+	fmt.Fprintf(w, "# TYPE nord_sims_executed_total counter\n")
+	fmt.Fprintf(w, "nord_sims_executed_total %d\n", m.SimsExecuted.Load())
+	fmt.Fprintf(w, "# HELP nord_cache_hits_total Content-addressed cache hits (in-flight coalescing included).\n")
+	fmt.Fprintf(w, "# TYPE nord_cache_hits_total counter\n")
+	fmt.Fprintf(w, "nord_cache_hits_total %d\n", m.CacheHits.Load())
+	fmt.Fprintf(w, "# HELP nord_cache_misses_total Content-addressed cache misses.\n")
+	fmt.Fprintf(w, "# TYPE nord_cache_misses_total counter\n")
+	fmt.Fprintf(w, "nord_cache_misses_total %d\n", m.CacheMisses.Load())
+	fmt.Fprintf(w, "# HELP nord_sim_cycles_total Cumulative simulated cycles across all jobs.\n")
+	fmt.Fprintf(w, "# TYPE nord_sim_cycles_total counter\n")
+	fmt.Fprintf(w, "nord_sim_cycles_total %d\n", m.SimCycles.Load())
+	fmt.Fprintf(w, "# HELP nord_queue_depth Jobs waiting in the scheduler queue.\n")
+	fmt.Fprintf(w, "# TYPE nord_queue_depth gauge\n")
+	fmt.Fprintf(w, "nord_queue_depth %d\n", g.QueueDepth)
+	fmt.Fprintf(w, "# HELP nord_workers Worker pool size.\n")
+	fmt.Fprintf(w, "# TYPE nord_workers gauge\n")
+	fmt.Fprintf(w, "nord_workers %d\n", g.Workers)
+	fmt.Fprintf(w, "# HELP nord_workers_busy Workers currently executing a job.\n")
+	fmt.Fprintf(w, "# TYPE nord_workers_busy gauge\n")
+	fmt.Fprintf(w, "nord_workers_busy %d\n", g.BusyWorkers)
+	fmt.Fprintf(w, "# HELP nord_cache_entries In-memory cache entries.\n")
+	fmt.Fprintf(w, "# TYPE nord_cache_entries gauge\n")
+	fmt.Fprintf(w, "nord_cache_entries %d\n", g.CacheEntries)
+	fmt.Fprintf(w, "# HELP nord_jobs_queued Jobs in queued state.\n")
+	fmt.Fprintf(w, "# TYPE nord_jobs_queued gauge\n")
+	fmt.Fprintf(w, "nord_jobs_queued %d\n", g.JobsQueued)
+	fmt.Fprintf(w, "# HELP nord_jobs_running Jobs in running state.\n")
+	fmt.Fprintf(w, "# TYPE nord_jobs_running gauge\n")
+	fmt.Fprintf(w, "nord_jobs_running %d\n", g.JobsRunning)
+}

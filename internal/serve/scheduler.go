@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is Submit's backpressure signal: the bounded queue is at
+// capacity and the client should retry later (HTTP 429 + Retry-After).
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrDraining means the scheduler has stopped accepting work (SIGTERM
+// drain); surfaced to clients as HTTP 503.
+var ErrDraining = errors.New("serve: scheduler draining")
+
+// Scheduler is the bounded worker pool: a fixed number of workers drain a
+// bounded FIFO queue. Submit never blocks — a full queue is backpressure,
+// not an invitation to buffer unboundedly.
+type Scheduler struct {
+	mu      sync.Mutex
+	queue   chan *Job
+	closed  bool
+	workers int
+	busy    atomic.Int64
+	wg      sync.WaitGroup
+	exec    func(*Job)
+}
+
+// NewScheduler starts a pool of `workers` goroutines over a queue of
+// `depth` slots; exec runs each job.
+func NewScheduler(workers, depth int, exec func(*Job)) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	s := &Scheduler{queue: make(chan *Job, depth), workers: workers, exec: exec}
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.busy.Add(1)
+		s.exec(j)
+		s.busy.Add(-1)
+	}
+}
+
+// Submit enqueues a job without blocking; ErrQueueFull reports a full
+// queue, ErrDraining a closed scheduler.
+func (s *Scheduler) Submit(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// QueueDepth returns the number of jobs waiting in the queue.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// Workers returns the pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Busy returns the number of workers currently executing a job.
+func (s *Scheduler) Busy() int { return int(s.busy.Load()) }
+
+// Close stops intake; queued jobs still run. Idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+}
+
+// Wait blocks until every worker has exited (Close must have been
+// called) or ctx expires.
+func (s *Scheduler) Wait(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

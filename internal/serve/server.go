@@ -1,0 +1,403 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nord/internal/sim"
+	"nord/internal/stats"
+)
+
+// Config tunes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the worker-pool size (default GOMAXPROCS). Each worker
+	// runs one single-threaded simulation at a time.
+	Workers int
+	// QueueDepth bounds the number of queued (not yet running) jobs;
+	// submissions beyond it receive 429 + Retry-After (default 64).
+	QueueDepth int
+	// CacheEntries bounds the in-memory result cache (default 512).
+	CacheEntries int
+	// CacheDir, when non-empty, enables the on-disk cache spill.
+	CacheDir string
+	// RetryAfter is the backoff hint attached to 429 responses
+	// (default 1s, rounded up to whole seconds).
+	RetryAfter time.Duration
+	// CheckEvery is the sim-layer context poll interval in cycles — the
+	// bound on how long a canceled job keeps ticking (default 2048).
+	CheckEvery int
+	// ProgressEvery is the cycles between progress snapshots streamed at
+	// /v1/jobs/{id}/events (default 10000).
+	ProgressEvery int
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) fill() {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 512
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 2048
+	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = 10_000
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+}
+
+// Server is the simulation job service: scheduler, cache, metrics and
+// the HTTP API glue.
+type Server struct {
+	cfg     Config
+	metrics Metrics
+	cache   *Cache
+	sched   *Scheduler
+
+	mu    sync.Mutex
+	jobs  map[string]*Job // by client-facing ID
+	byKey map[string]*Job // live dedup index: queued/running/done jobs per cache key
+	seq   uint64
+
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	cfg.fill()
+	cache, err := NewCache(cfg.CacheEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		cache: cache,
+		jobs:  map[string]*Job{},
+		byKey: map[string]*Job{},
+	}
+	s.sched = NewScheduler(cfg.Workers, cfg.QueueDepth, s.execute)
+	return s, nil
+}
+
+// Metrics exposes the counter set (tests and embedders).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/jobs             submit a job (202; 200 on cache hit; 429 when full)
+//	GET    /v1/jobs             list job summaries
+//	GET    /v1/jobs/{id}        job status + result when done
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/jobs/{id}/events NDJSON progress stream
+//	GET    /metrics             Prometheus text metrics
+//	GET    /healthz             readiness (503 while draining)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// BeginDrain stops accepting new jobs; /healthz flips to 503 so load
+// balancers stop routing here.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Shutdown drains gracefully: intake stops, queued and running jobs get
+// until ctx's deadline to finish, then stragglers are canceled and given
+// a short grace period to unwind.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.BeginDrain()
+	s.sched.Close()
+	if err := s.sched.Wait(ctx); err == nil {
+		return nil
+	}
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.Cancel()
+	}
+	s.mu.Unlock()
+	grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.sched.Wait(grace)
+}
+
+// submitResponse is the POST /v1/jobs body: flat so shell tooling can
+// scrape it without a JSON parser.
+type submitResponse struct {
+	ID     string   `json:"id"`
+	Key    string   `json:"key"`
+	State  JobState `json:"state"`
+	Cached bool     `json:"cached"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	t, err := resolveTask(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	// In-flight or completed job for the same content address: coalesce.
+	if j, ok := s.byKey[t.key]; ok {
+		s.metrics.CacheHits.Add(1)
+		s.metrics.JobsSubmitted.Add(1)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, submitResponse{ID: j.ID, Key: j.Key, State: j.State(), Cached: true})
+		return
+	}
+	// Memoized result (possibly spilled to disk by an earlier eviction).
+	if val, ok := s.cache.Get(t.key); ok {
+		j := s.newJobLocked(t)
+		j.completeFromCache(val)
+		s.metrics.CacheHits.Add(1)
+		s.metrics.JobsSubmitted.Add(1)
+		s.metrics.JobsDone.Add(1)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, submitResponse{ID: j.ID, Key: j.Key, State: JobDone, Cached: true})
+		return
+	}
+	j := s.newJobLocked(t)
+	if err := s.sched.Submit(j); err != nil {
+		delete(s.jobs, j.ID)
+		delete(s.byKey, j.Key)
+		s.mu.Unlock()
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.JobsRejected.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			writeError(w, http.StatusTooManyRequests, "job queue full")
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	s.metrics.CacheMisses.Add(1)
+	s.metrics.JobsSubmitted.Add(1)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, Key: j.Key, State: JobQueued, Cached: false})
+}
+
+// newJobLocked allocates a job ID and indexes the job; s.mu must be held.
+func (s *Server) newJobLocked(t *task) *Job {
+	s.seq++
+	j := newJob(fmt.Sprintf("j%06d", s.seq), t)
+	s.jobs[j.ID] = j
+	s.byKey[j.Key] = j
+	return j
+}
+
+// dropKey removes the job's dedup-index entry (failed or canceled jobs
+// must not satisfy future submissions), leaving the job itself queryable.
+func (s *Server) dropKey(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.byKey[j.Key] == j {
+		delete(s.byKey, j.Key)
+	}
+}
+
+// execute runs one job on a scheduler worker.
+func (s *Server) execute(j *Job) {
+	if !j.markRunning() {
+		// Canceled while queued.
+		s.metrics.JobsCanceled.Add(1)
+		s.dropKey(j)
+		return
+	}
+	s.metrics.SimsExecuted.Add(1)
+	var lastCycle uint64
+	opt := sim.RunOptions{
+		CheckEvery:    s.cfg.CheckEvery,
+		ProgressEvery: s.cfg.ProgressEvery,
+		Progress: func(p stats.Progress) {
+			if p.Cycle > lastCycle {
+				s.metrics.SimCycles.Add(p.Cycle - lastCycle)
+				lastCycle = p.Cycle
+			}
+			j.publish(p)
+		},
+	}
+	payload, err := j.task.run(j.ctx, opt)
+	switch {
+	case err == nil:
+		s.cache.Put(j.Key, payload)
+		j.finish(JobDone, payload, "")
+		s.metrics.JobsDone.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.finish(JobCanceled, nil, err.Error())
+		s.metrics.JobsCanceled.Add(1)
+		s.dropKey(j)
+	default:
+		j.finish(JobFailed, nil, err.Error())
+		s.metrics.JobsFailed.Add(1)
+		s.dropKey(j)
+	}
+}
+
+func (s *Server) lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status(true))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].ID < jobs[k].ID })
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status(false)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.Cancel()
+	s.dropKey(j)
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "state": j.State()})
+}
+
+// eventEnd is the last line of an /events stream.
+type eventEnd struct {
+	Done  bool     `json:"done"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, canFlush := w.(http.Flusher)
+	history, ch, unsub := j.subscribe()
+	defer unsub()
+	enc := json.NewEncoder(w)
+	for _, p := range history {
+		_ = enc.Encode(p)
+	}
+	if canFlush {
+		flusher.Flush()
+	}
+	for {
+		select {
+		case p, open := <-ch:
+			if !open {
+				st := j.status(false)
+				_ = enc.Encode(eventEnd{Done: true, State: st.State, Error: st.Error})
+				if canFlush {
+					flusher.Flush()
+				}
+				return
+			}
+			_ = enc.Encode(p)
+			if canFlush {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var queued, running int
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		switch j.State() {
+		case JobQueued:
+			queued++
+		case JobRunning:
+			running++
+		}
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteProm(w, Gauges{
+		QueueDepth:   s.sched.QueueDepth(),
+		Workers:      s.sched.Workers(),
+		BusyWorkers:  s.sched.Busy(),
+		CacheEntries: s.cache.Len(),
+		JobsQueued:   queued,
+		JobsRunning:  running,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"workers": s.sched.Workers(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

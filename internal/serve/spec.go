@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"nord/internal/memsys"
+	"nord/internal/noc"
+	"nord/internal/sim"
+	"nord/internal/trace"
+	"nord/internal/traffic"
+)
+
+// JobRequest is the POST /v1/jobs body: a kind plus the matching spec.
+type JobRequest struct {
+	Kind      string         `json:"kind"`
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+	Workload  *WorkloadSpec  `json:"workload,omitempty"`
+	Trace     *TraceSpec     `json:"trace,omitempty"`
+	Sweep     *SweepSpec     `json:"sweep,omitempty"`
+}
+
+// SyntheticSpec requests one synthetic-traffic run (sim.RunSynthetic).
+type SyntheticSpec struct {
+	Design        string  `json:"design"`
+	Width         int     `json:"width"`
+	Height        int     `json:"height"`
+	Pattern       string  `json:"pattern"`
+	Rate          float64 `json:"rate"`
+	Warmup        int     `json:"warmup"`
+	Measure       int     `json:"measure"`
+	Seed          int64   `json:"seed"`
+	WakeupLatency int     `json:"wakeup_latency"`
+	NoPerfCentric bool    `json:"no_perf_centric"`
+	ForcedOff     bool    `json:"forced_off"`
+}
+
+// WorkloadSpec requests one PARSEC-like full-system run (sim.RunWorkload).
+type WorkloadSpec struct {
+	Design    string  `json:"design"`
+	Benchmark string  `json:"benchmark"`
+	Scale     float64 `json:"scale"`
+	Warmup    int     `json:"warmup"`
+	Seed      int64   `json:"seed"`
+	MaxCycles uint64  `json:"max_cycles"`
+}
+
+// TraceSpec requests a trace replay (sim.ReplayTrace) of a server-local
+// trace file.
+type TraceSpec struct {
+	Design    string `json:"design"`
+	Path      string `json:"path"`
+	Warmup    int    `json:"warmup"`
+	Seed      int64  `json:"seed"`
+	MaxCycles uint64 `json:"max_cycles"`
+}
+
+// SweepSpec requests a parallel load sweep over all four designs
+// (sim.ParallelLoadSweep).
+type SweepSpec struct {
+	Width   int       `json:"width"`
+	Height  int       `json:"height"`
+	Pattern string    `json:"pattern"`
+	Rates   []float64 `json:"rates"`
+	Measure int       `json:"measure"`
+	Seed    int64     `json:"seed"`
+}
+
+// task is a resolved, runnable job body: the content-address key of the
+// fully-filled config plus the closure that executes it and marshals the
+// result.
+type task struct {
+	kind string
+	key  string
+	run  func(ctx context.Context, opt sim.RunOptions) ([]byte, error)
+}
+
+// resolveTask validates a request and resolves it into a task. Errors are
+// client errors (HTTP 400).
+func resolveTask(req *JobRequest) (*task, error) {
+	switch req.Kind {
+	case "synthetic":
+		if req.Synthetic == nil {
+			return nil, fmt.Errorf("kind %q needs a \"synthetic\" spec", req.Kind)
+		}
+		return req.Synthetic.resolve()
+	case "workload":
+		if req.Workload == nil {
+			return nil, fmt.Errorf("kind %q needs a \"workload\" spec", req.Kind)
+		}
+		return req.Workload.resolve()
+	case "trace":
+		if req.Trace == nil {
+			return nil, fmt.Errorf("kind %q needs a \"trace\" spec", req.Kind)
+		}
+		return req.Trace.resolve()
+	case "sweep":
+		if req.Sweep == nil {
+			return nil, fmt.Errorf("kind %q needs a \"sweep\" spec", req.Kind)
+		}
+		return req.Sweep.resolve()
+	case "":
+		return nil, fmt.Errorf("missing job kind (synthetic, workload, trace, sweep)")
+	default:
+		return nil, fmt.Errorf("unknown job kind %q (synthetic, workload, trace, sweep)", req.Kind)
+	}
+}
+
+func (sp *SyntheticSpec) resolve() (*task, error) {
+	design, err := noc.DesignByName(sp.Design)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Rate < 0 || sp.Rate > 1 {
+		return nil, fmt.Errorf("rate %g outside [0, 1] flits/node/cycle", sp.Rate)
+	}
+	if sp.Width < 0 || sp.Height < 0 || sp.Warmup < 0 || sp.Measure < 0 {
+		return nil, fmt.Errorf("negative dimension or cycle count")
+	}
+	if sp.Pattern != "" {
+		if _, err := traffic.PatternByName(sp.Pattern); err != nil {
+			return nil, err
+		}
+	}
+	cfg := sim.SynthConfig{
+		Design:        design,
+		Width:         sp.Width,
+		Height:        sp.Height,
+		Pattern:       sp.Pattern,
+		Rate:          sp.Rate,
+		Warmup:        sp.Warmup,
+		Measure:       sp.Measure,
+		Seed:          sp.Seed,
+		WakeupLatency: sp.WakeupLatency,
+		NoPerfCentric: sp.NoPerfCentric,
+		ForcedOff:     sp.ForcedOff,
+	}.Filled()
+	key, err := CacheKey("synthetic", cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &task{kind: "synthetic", key: key, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, error) {
+		r, err := sim.RunSyntheticOpts(ctx, cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(r)
+	}}, nil
+}
+
+func (sp *WorkloadSpec) resolve() (*task, error) {
+	design, err := noc.DesignByName(sp.Design)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := memsys.ProfileByName(sp.Benchmark); err != nil {
+		return nil, err
+	}
+	if sp.Scale < 0 {
+		return nil, fmt.Errorf("negative scale %g", sp.Scale)
+	}
+	cfg := sim.WorkloadConfig{
+		Design:    design,
+		Benchmark: sp.Benchmark,
+		Scale:     sp.Scale,
+		Warmup:    sp.Warmup,
+		Seed:      sp.Seed,
+		MaxCycles: sp.MaxCycles,
+	}.Filled()
+	key, err := CacheKey("workload", cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &task{kind: "workload", key: key, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, error) {
+		r, err := sim.RunWorkloadOpts(ctx, cfg, opt)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(r)
+	}}, nil
+}
+
+func (sp *TraceSpec) resolve() (*task, error) {
+	design, err := noc.DesignByName(sp.Design)
+	if err != nil {
+		return nil, err
+	}
+	if sp.Path == "" {
+		return nil, fmt.Errorf("trace path required")
+	}
+	cfg := sim.TraceConfig{
+		Design:    design,
+		Path:      sp.Path,
+		Warmup:    sp.Warmup,
+		Seed:      sp.Seed,
+		MaxCycles: sp.MaxCycles,
+	}.Filled()
+	key, err := CacheKey("trace", cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &task{kind: "trace", key: key, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, error) {
+		tr, err := trace.Load(cfg.Path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sim.ReplayTraceOpts(ctx, cfg, tr, opt)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(r)
+	}}, nil
+}
+
+func (sp *SweepSpec) resolve() (*task, error) {
+	if len(sp.Rates) == 0 {
+		return nil, fmt.Errorf("sweep needs at least one rate")
+	}
+	for _, r := range sp.Rates {
+		if r < 0 || r > 1 {
+			return nil, fmt.Errorf("rate %g outside [0, 1] flits/node/cycle", r)
+		}
+	}
+	// Normalise defaults explicitly so the cache key is independent of the
+	// defaulting path.
+	norm := *sp
+	if norm.Width == 0 {
+		norm.Width = 4
+	}
+	if norm.Height == 0 {
+		norm.Height = 4
+	}
+	if norm.Pattern == "" {
+		norm.Pattern = "uniform"
+	}
+	if norm.Measure == 0 {
+		norm.Measure = 100_000
+	}
+	if _, err := traffic.PatternByName(norm.Pattern); err != nil {
+		return nil, err
+	}
+	key, err := CacheKey("sweep", norm)
+	if err != nil {
+		return nil, err
+	}
+	return &task{kind: "sweep", key: key, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, error) {
+		pts, err := sim.ParallelLoadSweepCtx(ctx, norm.Width, norm.Height, norm.Pattern, norm.Rates, norm.Measure, norm.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(pts)
+	}}, nil
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"nord/internal/noc"
+	"nord/internal/stats"
+)
+
+// RunOptions tunes the cooperative-cancellation and progress machinery of
+// the *Opts runners. The zero value is ready to use: the context is
+// polled every 1024 cycles and no progress is reported.
+type RunOptions struct {
+	// Progress, when non-nil, receives a stats.Progress snapshot every
+	// ProgressEvery cycles and once more when the run finishes. It is
+	// called from the simulation goroutine; keep it fast.
+	Progress func(stats.Progress)
+	// ProgressEvery is the number of cycles between snapshots
+	// (default 5000).
+	ProgressEvery int
+	// CheckEvery is the number of cycles between context polls
+	// (default 1024) — the bound on how many extra cycles a canceled run
+	// keeps ticking.
+	CheckEvery int
+}
+
+func (o RunOptions) checkEvery() int {
+	if o.CheckEvery > 0 {
+		return o.CheckEvery
+	}
+	return 1024
+}
+
+func (o RunOptions) progressEvery() uint64 {
+	if o.ProgressEvery > 0 {
+		return uint64(o.ProgressEvery)
+	}
+	return 5000
+}
+
+// runObserver drives the periodic context polls and progress snapshots of
+// a simulation loop: observe is called once per simulated cycle, finish
+// once when the run ends (on any path) to flush a final snapshot.
+type runObserver struct {
+	ctx      context.Context
+	opt      RunOptions
+	net      *noc.Network
+	total    uint64 // planned cycles, 0 when open-ended
+	lastEmit uint64
+}
+
+func newRunObserver(ctx context.Context, opt RunOptions, net *noc.Network, total uint64) *runObserver {
+	return &runObserver{ctx: ctx, opt: opt, net: net, total: total}
+}
+
+// observe polls the context every CheckEvery cycles and emits a progress
+// snapshot every ProgressEvery cycles. A cancellation is returned as an
+// error wrapping the context's (so errors.Is sees context.Canceled /
+// DeadlineExceeded).
+func (o *runObserver) observe(phase string) error {
+	cyc := o.net.Cycle()
+	if cyc%uint64(o.opt.checkEvery()) == 0 {
+		if err := o.ctx.Err(); err != nil {
+			return fmt.Errorf("sim: run canceled at cycle %d: %w", cyc, err)
+		}
+	}
+	o.maybeEmit(phase)
+	return nil
+}
+
+// maybeEmit emits a snapshot when one is due (also used directly as the
+// memsys RunCtx hook, which performs its own context polling).
+func (o *runObserver) maybeEmit(phase string) {
+	if o.opt.Progress == nil {
+		return
+	}
+	if cyc := o.net.Cycle(); cyc-o.lastEmit >= o.opt.progressEvery() {
+		o.emit(phase)
+	}
+}
+
+func (o *runObserver) emit(phase string) {
+	col := o.net.Collector()
+	o.lastEmit = o.net.Cycle()
+	o.opt.Progress(stats.Progress{
+		Cycle:            o.net.Cycle(),
+		TotalCycles:      o.total,
+		Phase:            phase,
+		PacketsInjected:  col.PacketsInjected,
+		PacketsDelivered: col.PacketsDelivered,
+		InFlight:         o.net.InFlight(),
+	})
+}
+
+// finish flushes a final snapshot so consumers see the terminal cycle.
+func (o *runObserver) finish(phase string) {
+	if o.opt.Progress != nil {
+		o.emit(phase)
+	}
+}

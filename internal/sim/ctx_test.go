@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"nord/internal/noc"
+	"nord/internal/stats"
+)
+
+// TestRunSyntheticCancelBounded proves cooperative cancellation is
+// bounded: after ctx is canceled, the tick loop stops within CheckEvery
+// cycles (the context poll interval), not at the end of the run.
+func TestRunSyntheticCancelBounded(t *testing.T) {
+	const (
+		warmup     = 500
+		measure    = 2_000_000 // far more than the test should ever simulate
+		checkEvery = 128
+		progEvery  = 512
+		cancelAt   = 2048 // network cycle at which the callback cancels
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var canceledAt uint64
+	res, err := RunSyntheticOpts(ctx, SynthConfig{
+		Design: noc.NoRD, Width: 4, Height: 4,
+		Pattern: "uniform", Rate: 0.05,
+		Warmup: warmup, Measure: measure, Seed: 1,
+	}, RunOptions{
+		CheckEvery:    checkEvery,
+		ProgressEvery: progEvery,
+		Progress: func(p stats.Progress) {
+			if canceledAt == 0 && p.Cycle >= cancelAt {
+				canceledAt = p.Cycle
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if canceledAt == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	if res.Err == "" {
+		t.Fatal("partial result did not record the cancellation in Err")
+	}
+	// res.Cycles counts measured cycles; the loop may tick at most
+	// checkEvery more cycles past the cancel point before the next poll.
+	limit := canceledAt - warmup + checkEvery
+	if res.Cycles > limit {
+		t.Fatalf("loop ran %d measured cycles after cancel at %d; bound is %d",
+			res.Cycles, canceledAt, limit)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("expected partial statistics from the canceled run")
+	}
+}
+
+// TestRunSyntheticPreCanceled checks an already-canceled context stops
+// the run almost immediately.
+func TestRunSyntheticPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunSyntheticCtx(ctx, SynthConfig{
+		Design: noc.NoPG, Width: 4, Height: 4,
+		Pattern: "uniform", Rate: 0.05,
+		Warmup: 10_000, Measure: 1_000_000, Seed: 1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if res.Cycles > 0 {
+		t.Fatalf("pre-canceled run measured %d cycles", res.Cycles)
+	}
+}
+
+// TestRunWorkloadCancel checks the full-system runner honours ctx too.
+func TestRunWorkloadCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	canceled := false
+	_, err := RunWorkloadOpts(ctx, WorkloadConfig{
+		Design: noc.NoRD, Benchmark: "x264", Scale: 0.5, Seed: 1,
+	}, RunOptions{
+		CheckEvery:    256,
+		ProgressEvery: 1024,
+		Progress: func(p stats.Progress) {
+			if !canceled && p.Cycle >= 4096 {
+				canceled = true
+				cancel()
+			}
+		},
+	})
+	if !canceled {
+		// Workload finished before the cancel point; nothing to assert.
+		t.Skip("workload too short to cancel mid-run")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestParallelLoadSweepCanceled checks the sweep propagates cancellation.
+func TestParallelLoadSweepCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ParallelLoadSweepCtx(ctx, 4, 4, "uniform", []float64{0.02, 0.05}, 20_000, 1)
+	if err == nil {
+		t.Fatal("canceled sweep returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -47,6 +48,13 @@ func runtimeFailure(err error) bool {
 	return errors.As(err, &de) || errors.As(err, &pe) || errors.As(err, &ue) || errors.As(err, &pf)
 }
 
+// IsRuntimeFailure reports whether err is a structured simulation failure
+// (deadlock, protocol violation, unrecoverable fault, recovered panic) as
+// opposed to a configuration error or a cancellation. CLIs and the serve
+// layer use it to distinguish "this design point failed" from "this
+// request was invalid".
+func IsRuntimeFailure(err error) bool { return runtimeFailure(err) }
+
 // workerCount returns the number of pool workers for n jobs: one per
 // available CPU, never more than there are jobs.
 func workerCount(n int) int {
@@ -66,6 +74,13 @@ func workerCount(n int) int {
 // GOMAXPROCS workers drains a job channel, so the goroutine count is
 // bounded by the core count rather than the sweep size.
 func ParallelLoadSweep(w, h int, pattern string, rates []float64, measure int, seed int64) ([]SweepPoint, error) {
+	return ParallelLoadSweepCtx(context.Background(), w, h, pattern, rates, measure, seed)
+}
+
+// ParallelLoadSweepCtx is ParallelLoadSweep with cooperative cancellation:
+// a canceled context aborts in-flight simulations within ~a kilocycle,
+// skips the remaining points and returns the context's error.
+func ParallelLoadSweepCtx(ctx context.Context, w, h int, pattern string, rates []float64, measure int, seed int64) ([]SweepPoint, error) {
 	type job struct {
 		idx    int
 		design noc.Design
@@ -89,8 +104,12 @@ func ParallelLoadSweep(w, h int, pattern string, rates []float64, measure int, s
 		go func() {
 			defer wg.Done()
 			for j := range ch {
+				if err := ctx.Err(); err != nil {
+					errs[j.idx] = err
+					continue
+				}
 				r, err := runGuarded(func() (Result, error) {
-					return RunSynthetic(SynthConfig{
+					return RunSyntheticCtx(ctx, SynthConfig{
 						Design: j.design, Width: w, Height: h, Pattern: pattern,
 						Rate: j.rate, Measure: measure, Seed: seed,
 					})
@@ -127,6 +146,12 @@ func ParallelLoadSweep(w, h int, pattern string, rates []float64, measure int, s
 // ParallelSuite is RunSuite with the (benchmark, design) cells executed
 // concurrently.
 func ParallelSuite(scale float64, seed int64, progress func(string)) (*SuiteResult, error) {
+	return ParallelSuiteCtx(context.Background(), scale, seed, progress)
+}
+
+// ParallelSuiteCtx is ParallelSuite with cooperative cancellation (see
+// ParallelLoadSweepCtx).
+func ParallelSuiteCtx(ctx context.Context, scale float64, seed int64, progress func(string)) (*SuiteResult, error) {
 	sr := &SuiteResult{Benchmarks: Benchmarks(), Results: map[string]map[noc.Design]Result{}}
 	type cell struct {
 		bench  string
@@ -156,11 +181,15 @@ func ParallelSuite(scale float64, seed int64, progress func(string)) (*SuiteResu
 			defer wg.Done()
 			for ic := range ch {
 				i, c := ic.idx, ic.c
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
 				if progress != nil {
 					progress(fmt.Sprintf("%s / %s", c.bench, c.design))
 				}
 				r, err := runGuarded(func() (Result, error) {
-					return RunWorkload(WorkloadConfig{Design: c.design, Benchmark: c.bench, Scale: scale, Seed: seed})
+					return RunWorkloadCtx(ctx, WorkloadConfig{Design: c.design, Benchmark: c.bench, Scale: scale, Seed: seed})
 				})
 				if err != nil && runtimeFailure(err) {
 					// Record the failed cell and keep the rest of the suite

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -137,6 +138,14 @@ func (c *SynthConfig) fill() {
 	}
 }
 
+// Filled returns the config with every defaulted field resolved — the
+// canonical form the serve layer encodes and hashes for its
+// content-addressed result cache.
+func (c SynthConfig) Filled() SynthConfig {
+	c.fill()
+	return c
+}
+
 // perfCache memoises performance-centric router sets per mesh size.
 var perfCache sync.Map // [2]int -> []int
 
@@ -214,6 +223,23 @@ func (c *SynthConfig) buildParams(classes int) (noc.Params, error) {
 // recorded in Result.Err alongside whatever statistics were gathered, so
 // sweeps can tabulate failed cells instead of dying.
 func RunSynthetic(c SynthConfig) (Result, error) {
+	return RunSyntheticOpts(context.Background(), c, RunOptions{})
+}
+
+// RunSyntheticCtx is RunSynthetic with cooperative cancellation: the
+// context is polled every ~kilocycle and a canceled or deadline-exceeded
+// run stops promptly, returning the partial Result (Err set) alongside an
+// error wrapping the context's.
+func RunSyntheticCtx(ctx context.Context, c SynthConfig) (Result, error) {
+	return RunSyntheticOpts(ctx, c, RunOptions{})
+}
+
+// RunSyntheticOpts is RunSyntheticCtx with progress reporting and tunable
+// poll intervals (see RunOptions).
+func RunSyntheticOpts(ctx context.Context, c SynthConfig, opt RunOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.fill()
 	params, err := c.buildParams(1)
 	if err != nil {
@@ -244,10 +270,14 @@ func RunSynthetic(c SynthConfig) (Result, error) {
 		return Result{}, err
 	}
 	inj := traffic.NewSynthetic(net, pattern, c.Rate, c.Seed)
+	obs := newRunObserver(ctx, opt, net, uint64(c.Warmup+c.Measure))
 	runErr := func() error {
 		for i := 0; i < c.Warmup; i++ {
 			inj.Tick(net.Cycle())
 			if err := net.Step(); err != nil {
+				return err
+			}
+			if err := obs.observe("warmup"); err != nil {
 				return err
 			}
 		}
@@ -257,15 +287,19 @@ func RunSynthetic(c SynthConfig) (Result, error) {
 			if err := net.Step(); err != nil {
 				return err
 			}
+			if err := obs.observe("measure"); err != nil {
+				return err
+			}
 		}
 		if sched != nil {
 			// Let retransmissions and in-flight traffic resolve so every
 			// injected payload is accounted delivered or lost.
-			return net.Drain(c.DrainCycles)
+			return net.DrainCtx(ctx, c.DrainCycles, opt.checkEvery())
 		}
 		return nil
 	}()
 	net.FinishMeasurement()
+	obs.finish("measure")
 	model, err := power.New(c.Tech)
 	if err != nil {
 		return Result{}, err
@@ -310,9 +344,31 @@ func (c *WorkloadConfig) fill() {
 	}
 }
 
+// Filled returns the config with every defaulted field resolved (see
+// SynthConfig.Filled).
+func (c WorkloadConfig) Filled() WorkloadConfig {
+	c.fill()
+	return c
+}
+
 // RunWorkload executes one PARSEC-like full-system simulation to
 // completion and returns its Result (including execution time).
 func RunWorkload(c WorkloadConfig) (Result, error) {
+	return RunWorkloadOpts(context.Background(), c, RunOptions{})
+}
+
+// RunWorkloadCtx is RunWorkload with cooperative cancellation (see
+// RunSyntheticCtx).
+func RunWorkloadCtx(ctx context.Context, c WorkloadConfig) (Result, error) {
+	return RunWorkloadOpts(ctx, c, RunOptions{})
+}
+
+// RunWorkloadOpts is RunWorkloadCtx with progress reporting and tunable
+// poll intervals.
+func RunWorkloadOpts(ctx context.Context, c WorkloadConfig, opt RunOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.fill()
 	prof, err := memsys.ProfileByName(c.Benchmark)
 	if err != nil {
@@ -343,11 +399,11 @@ func RunWorkload(c WorkloadConfig) (Result, error) {
 	}
 	sys.RunWarmup(uint64(c.Warmup))
 	net.BeginMeasurement()
-	exec, err := sys.Run(c.MaxCycles)
-	if err != nil {
-		return Result{}, err
-	}
+	obs := newRunObserver(ctx, opt, net, 0)
+	exec, runErr := sys.RunCtx(ctx, c.MaxCycles, uint64(opt.checkEvery()),
+		func(uint64) { obs.maybeEmit("measure") })
 	net.FinishMeasurement()
+	obs.finish("measure")
 	model, err := power.New(c.Tech)
 	if err != nil {
 		return Result{}, err
@@ -356,6 +412,13 @@ func RunWorkload(c WorkloadConfig) (Result, error) {
 	res.Label = c.Benchmark
 	res.ExecTime = exec
 	res.L1HitRate = sys.L1HitRate()
+	if runErr != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			runErr = fmt.Errorf("sim: workload %q canceled at cycle %d: %w", c.Benchmark, net.Cycle(), ctxErr)
+		}
+		res.Err = runErr.Error()
+		return res, runErr
+	}
 	return res, nil
 }
 
@@ -374,6 +437,22 @@ type TraceConfig struct {
 	MaxCycles     uint64
 }
 
+func (c *TraceConfig) fill() {
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 100_000_000
+	}
+	if c.Tech == (power.Tech{}) {
+		c.Tech = power.DefaultTech()
+	}
+}
+
+// Filled returns the config with every defaulted field resolved (see
+// SynthConfig.Filled).
+func (c TraceConfig) Filled() TraceConfig {
+	c.fill()
+	return c
+}
+
 // RunTrace replays a recorded trace to completion and returns the run's
 // measurements.
 func RunTrace(c TraceConfig) (Result, error) {
@@ -384,14 +463,34 @@ func RunTrace(c TraceConfig) (Result, error) {
 	return ReplayTrace(c, tr)
 }
 
+// RunTraceCtx is RunTrace with cooperative cancellation.
+func RunTraceCtx(ctx context.Context, c TraceConfig) (Result, error) {
+	tr, err := trace.Load(c.Path)
+	if err != nil {
+		return Result{}, err
+	}
+	return ReplayTraceOpts(ctx, c, tr, RunOptions{})
+}
+
 // ReplayTrace is RunTrace with an already-loaded trace.
 func ReplayTrace(c TraceConfig, tr *trace.Trace) (Result, error) {
-	if c.MaxCycles == 0 {
-		c.MaxCycles = 100_000_000
+	return ReplayTraceOpts(context.Background(), c, tr, RunOptions{})
+}
+
+// ReplayTraceCtx is ReplayTrace with cooperative cancellation.
+func ReplayTraceCtx(ctx context.Context, c TraceConfig, tr *trace.Trace) (Result, error) {
+	return ReplayTraceOpts(ctx, c, tr, RunOptions{})
+}
+
+// ReplayTraceOpts is ReplayTraceCtx with progress reporting and tunable
+// poll intervals. A structured runtime failure (deadlock, protocol
+// violation, replay timeout, cancellation) is recorded in Result.Err
+// alongside whatever statistics were gathered, and returned as the error.
+func ReplayTraceOpts(ctx context.Context, c TraceConfig, tr *trace.Trace, opt RunOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	if c.Tech == (power.Tech{}) {
-		c.Tech = power.DefaultTech()
-	}
+	c.fill()
 	sc := SynthConfig{
 		Design:        c.Design,
 		WakeupLatency: c.WakeupLatency,
@@ -417,26 +516,45 @@ func ReplayTrace(c TraceConfig, tr *trace.Trace) (Result, error) {
 		return Result{}, err
 	}
 	rep := trace.NewReplayer(net, tr)
+	obs := newRunObserver(ctx, opt, net, 0)
 	warm := uint64(c.Warmup)
-	for net.Cycle() < warm {
-		rep.Tick(net.Cycle())
-		net.Tick()
-	}
-	net.BeginMeasurement()
-	for (!rep.Done() || net.InFlight() > 0) && net.Cycle() < c.MaxCycles {
-		rep.Tick(net.Cycle())
-		net.Tick()
-	}
-	if !rep.Done() {
-		return Result{}, fmt.Errorf("sim: trace replay did not finish within %d cycles", c.MaxCycles)
-	}
+	runErr := func() error {
+		for net.Cycle() < warm {
+			rep.Tick(net.Cycle())
+			if err := net.Step(); err != nil {
+				return err
+			}
+			if err := obs.observe("warmup"); err != nil {
+				return err
+			}
+		}
+		net.BeginMeasurement()
+		for (!rep.Done() || net.InFlight() > 0) && net.Cycle() < c.MaxCycles {
+			rep.Tick(net.Cycle())
+			if err := net.Step(); err != nil {
+				return err
+			}
+			if err := obs.observe("measure"); err != nil {
+				return err
+			}
+		}
+		if !rep.Done() {
+			return fmt.Errorf("sim: trace replay did not finish within %d cycles", c.MaxCycles)
+		}
+		return nil
+	}()
 	net.FinishMeasurement()
+	obs.finish("measure")
 	model, err := power.New(c.Tech)
 	if err != nil {
 		return Result{}, err
 	}
 	res := collect(net, model)
 	res.Label = "trace:" + c.Path
+	if runErr != nil {
+		res.Err = runErr.Error()
+		return res, runErr
+	}
 	return res, nil
 }
 

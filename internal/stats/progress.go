@@ -1,0 +1,20 @@
+package stats
+
+// Progress is a periodic snapshot of a running simulation, emitted by the
+// sim runners' progress hooks and streamed as NDJSON by the serve job
+// API's /events endpoint.
+type Progress struct {
+	// Cycle is the absolute simulation cycle of the snapshot.
+	Cycle uint64 `json:"cycle"`
+	// TotalCycles is the planned run length in cycles, 0 when unknown
+	// (open-ended runs such as workloads and trace replays).
+	TotalCycles uint64 `json:"total_cycles,omitempty"`
+	// Phase names the run phase: "warmup", "measure" or "drain".
+	Phase string `json:"phase"`
+	// PacketsInjected / PacketsDelivered are the measured-interval packet
+	// counters at the snapshot cycle.
+	PacketsInjected  uint64 `json:"packets_injected"`
+	PacketsDelivered uint64 `json:"packets_delivered"`
+	// InFlight is the number of packets injected but not yet delivered.
+	InFlight int `json:"in_flight"`
+}

@@ -1,0 +1,91 @@
+#!/bin/sh
+# End-to-end smoke test for nordserved: boot the service on an ephemeral
+# port, submit a small 4x4 synthetic job, poll it to completion, resubmit
+# the identical request and assert a cache hit, sanity-check /metrics,
+# then drain the server with SIGTERM. Needs only sh + curl + grep/sed.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WORKDIR=$(mktemp -d)
+LOG="$WORKDIR/nordserved.log"
+BIN="$WORKDIR/nordserved"
+SRV_PID=""
+
+cleanup() {
+    if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -TERM "$SRV_PID" 2>/dev/null || true
+        wait "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "SMOKE FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$LOG" >&2 || true
+    exit 1
+}
+
+echo "== building nordserved"
+go build -o "$BIN" ./cmd/nordserved
+
+echo "== booting on an ephemeral port"
+"$BIN" -addr 127.0.0.1:0 -workers 2 -cache-dir "$WORKDIR/cache" >"$LOG" 2>&1 &
+SRV_PID=$!
+
+ADDR=""
+for _ in $(seq 1 50); do
+    ADDR=$(sed -n 's/^nordserved listening on //p' "$LOG")
+    [ -n "$ADDR" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+done
+[ -n "$ADDR" ] && echo "   listening on $ADDR" || fail "no listen line in log"
+
+BASE="http://$ADDR"
+JOB='{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"pattern":"uniform","rate":0.05,"warmup":1000,"measure":20000,"seed":7}}'
+
+echo "== healthz"
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' || fail "healthz not ok"
+
+echo "== submitting a 4x4 synthetic job"
+SUB=$(curl -fsS "$BASE/v1/jobs" -d "$JOB")
+echo "   $SUB"
+ID=$(echo "$SUB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || fail "no job id in $SUB"
+echo "$SUB" | grep -q '"cached":false' || fail "first submission claimed a cache hit"
+
+echo "== polling $ID to completion"
+STATE=""
+for _ in $(seq 1 100); do
+    STATUS=$(curl -fsS "$BASE/v1/jobs/$ID")
+    STATE=$(echo "$STATUS" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    case "$STATE" in
+        done) break ;;
+        failed|canceled) fail "job ended in state $STATE: $STATUS" ;;
+    esac
+    sleep 0.2
+done
+[ "$STATE" = done ] || fail "job stuck in state '$STATE'"
+echo "$STATUS" | grep -q '"avg_packet_latency"\|"result"' || fail "done job carries no result: $STATUS"
+
+echo "== resubmitting the identical job (must be a cache hit)"
+RESUB=$(curl -fsS "$BASE/v1/jobs" -d "$JOB")
+echo "   $RESUB"
+echo "$RESUB" | grep -q '"cached":true' || fail "resubmission missed the cache: $RESUB"
+
+echo "== checking /metrics"
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^nord_sims_executed_total 1$' || fail "expected exactly one executed sim"
+echo "$METRICS" | grep -q '^nord_cache_hits_total 1$' || fail "expected one cache hit"
+echo "$METRICS" | grep -q '^nord_cache_misses_total 1$' || fail "expected one cache miss"
+echo "$METRICS" | grep -q '^nord_jobs_total{state="done"} 1$' || fail "expected one done job"
+
+echo "== draining with SIGTERM"
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || fail "server exited non-zero on drain"
+SRV_PID=""
+
+echo "SMOKE PASS"
