@@ -65,6 +65,8 @@ func main() {
 		kernel       = flag.Bool("kernel", false, "run the tick-kernel benchmark matrix (8x8 x designs x loads) and write a JSON report")
 		kernelOut    = flag.String("kernel-out", "BENCH_kernel.json", "output path for the -kernel report")
 		kernelCycles = flag.Int("kernel-cycles", 50_000, "measured cycles per -kernel point")
+		baseline     = flag.String("baseline", "", "committed BENCH_kernel.json to compare the -kernel run against")
+		tolerance    = flag.Float64("tolerance", 0.75, "fractional ns/cycle slowdown tolerated against -baseline (0.75 = +75%)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -84,6 +86,20 @@ func main() {
 	}
 
 	if *kernel {
+		// Load the baseline before the run: -kernel-out may point at the
+		// same file, and CI does exactly that.
+		var base *sim.KernelReport
+		if *baseline != "" {
+			f, err := os.Open(*baseline)
+			if err != nil {
+				fail(err)
+			}
+			base, err = sim.LoadKernelReport(f)
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+		}
 		progress := func(s string) {
 			if !*quiet {
 				fmt.Fprintf(os.Stderr, "kernel bench %s\n", s)
@@ -109,11 +125,23 @@ func main() {
 				p.Design, p.Rate, p.NsPerCycle, p.CyclesPerSec, p.AllocsPerCycle)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *kernelOut)
+		failed := false
 		if bad := rep.Regressions(); len(bad) > 0 {
+			failed = true
 			for _, p := range bad {
 				fmt.Fprintf(os.Stderr, "allocation regression: %s rate %.2f allocates %.4f/cycle (budget %.2f)\n",
 					p.Design, p.Rate, p.AllocsPerCycle, p.Budget)
 			}
+		}
+		if base != nil {
+			if bad := rep.CompareBaseline(base, *tolerance); len(bad) > 0 {
+				failed = true
+				for _, msg := range bad {
+					fmt.Fprintf(os.Stderr, "baseline regression: %s\n", msg)
+				}
+			}
+		}
+		if failed {
 			stopProfiles()
 			os.Exit(1)
 		}

@@ -10,16 +10,38 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"nord/internal/noc"
+	"nord/internal/obs"
 	"nord/internal/sim"
 )
+
+// writeTrace dumps a finished run's tracer: Chrome trace-event JSON
+// (open in ui.perfetto.dev) by default, NDJSON when the path ends in
+// .ndjson.
+func writeTrace(path string, tr *obs.Tracer, endCycle uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".ndjson") {
+		err = tr.WriteNDJSON(f)
+	} else {
+		err = tr.WriteChromeTrace(f, endCycle)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // startProfiles begins CPU profiling and returns a function that stops it
 // and writes the heap profile; the stop function must run before every
@@ -75,6 +97,8 @@ func main() {
 		aggressive  = flag.Bool("aggressive-bypass", false, "1-cycle NoRD bypass (Section 6.8)")
 		dynClass    = flag.Bool("dynamic-classify", false, "demand-ranked performance-centric class (Section 4.4)")
 		csvOut      = flag.Bool("csv", false, "emit a CSV record instead of the report")
+		tracePath   = flag.String("trace", "", "write a cycle-level event trace to this file (Chrome trace-event JSON for Perfetto; NDJSON when the path ends in .ndjson)")
+		traceSample = flag.Int("trace-sample", 0, "record every Nth bypass hop in the trace (0 = the default 64)")
 		perRouter   = flag.Bool("per-router", false, "append the per-router spatial statistics table")
 		powerTrace  = flag.Int("power-trace", 0, "emit a power time series sampled every N cycles (CSV) instead of the report")
 		watch       = flag.Int("watch", 0, "render router power-state frames every N cycles instead of the report")
@@ -116,6 +140,11 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// The flag default is the paper's warmup, so a 0 on the command line
+	// is always an explicit request for no warmup.
+	if *warmup == 0 {
+		*warmup = sim.ZeroWarmup
+	}
 	if *watch > 0 {
 		frames := *measure / *watch
 		if frames < 1 {
@@ -150,24 +179,35 @@ func main() {
 		}
 		return
 	}
+	var opt sim.RunOptions
+	if *tracePath != "" {
+		opt.Tracer = obs.New(obs.Config{SampleEvery: *traceSample})
+	}
 	var res sim.Result
 	if *benchmark != "" {
-		res, err = sim.RunWorkload(sim.WorkloadConfig{
+		res, err = sim.RunWorkloadOpts(context.Background(), sim.WorkloadConfig{
 			Design: d, Benchmark: *benchmark, Scale: *scale,
 			Warmup: *warmup, Seed: *seed, WakeupLatency: *wakeup,
-		})
+		}, opt)
 	} else {
-		res, err = sim.RunSynthetic(sim.SynthConfig{
+		res, err = sim.RunSyntheticOpts(context.Background(), sim.SynthConfig{
 			Design: d, Width: *width, Height: *height,
 			Pattern: *pattern, Rate: *rate,
 			Warmup: *warmup, Measure: *measure,
 			Seed: *seed, WakeupLatency: *wakeup, ForcedOff: *forcedOff,
 			TwoStageRouter: *twoStage, AggressiveBypass: *aggressive,
 			DynamicClassify: *dynClass,
-		})
+		}, opt)
 	}
 	if err != nil {
 		fail(err)
+	}
+	if opt.Tracer != nil {
+		if err := writeTrace(*tracePath, opt.Tracer, res.Cycles); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events (%d dropped) -> %s\n",
+			opt.Tracer.Total(), opt.Tracer.Dropped(), *tracePath)
 	}
 	if *csvOut {
 		w := csv.NewWriter(os.Stdout)

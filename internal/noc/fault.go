@@ -3,6 +3,7 @@ package noc
 import (
 	"nord/internal/fault"
 	"nord/internal/flit"
+	"nord/internal/obs"
 	"nord/internal/topology"
 )
 
@@ -187,6 +188,9 @@ func (fi *faultInjector) activateHardFails(n *Network) {
 		r.failPending = false
 		r.hardFailed = true
 		r.wakeBlocked = false
+		if n.tracer != nil {
+			n.tracer.Emit(n.cycle, int32(r.id), obs.KindHardFail, obs.CauseNone, 0)
+		}
 		fi.report.Triggered[fault.HardFail]++
 		fi.report.RoutersLost++
 		fi.failed = append(fi.failed, r.id)
@@ -249,6 +253,7 @@ func (r *Router) faultBlocksWake() bool {
 	r.wakeBlocked = false
 	r.wakeSwallowed = false
 	r.wakeWantSince = 0
+	r.watchdogWoke = true
 	fi.report.WatchdogWakeups++
 	n.col.WatchdogWakeups++
 	return false

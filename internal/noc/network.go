@@ -8,6 +8,7 @@ import (
 
 	"nord/internal/fault"
 	"nord/internal/flit"
+	"nord/internal/obs"
 	"nord/internal/stats"
 	"nord/internal/topology"
 )
@@ -65,6 +66,11 @@ type Network struct {
 	// subsequent Step returns it without advancing the simulation.
 	faults *faultInjector
 	err    error
+
+	// tracer is the optional cycle-level event sink (internal/obs). Nil
+	// when tracing is off: every hook is behind a single nil check, so
+	// the steady-state tick path stays allocation-free.
+	tracer *obs.Tracer
 
 	// candScratch is reused by route computation to avoid per-decision
 	// allocations (the network is single-threaded; each decision is
@@ -206,6 +212,19 @@ func (n *Network) Collector() *stats.NoC {
 
 // InFlight returns the number of packets injected but not yet delivered.
 func (n *Network) InFlight() int { return n.inFlight }
+
+// SetTracer attaches (or, with nil, detaches) the cycle-level event sink.
+// With no tracer attached every hook on the tick path is a single nil
+// check, preserving the zero-allocation steady state.
+func (n *Network) SetTracer(t *obs.Tracer) {
+	n.tracer = t
+	if t != nil {
+		t.SetNodes(n.nn)
+	}
+}
+
+// Tracer returns the attached event sink (nil when tracing is off).
+func (n *Network) Tracer() *obs.Tracer { return n.tracer }
 
 // SetDeliveryHandler registers a callback invoked when a packet's tail is
 // ejected at its destination (used by the memory-system substrate).
@@ -376,6 +395,17 @@ func (n *Network) Step() error {
 	n.pendingCredits = n.pendingCredits[:0]
 	// 10. Statistics and the deadlock watchdog.
 	n.tickStats()
+	if n.tracer != nil {
+		if row := n.tracer.ResidencyRow(n.cycle); row != nil {
+			for id, r := range n.routers {
+				s := uint8(r.state)
+				if r.hardFailed {
+					s = obs.StateFailed
+				}
+				row[id] = s
+			}
+		}
+	}
 	if n.progressed {
 		n.lastProgress = n.cycle
 	} else if n.inFlight > 0 && n.cycle-n.lastProgress > n.watchdogLimit() {
@@ -927,22 +957,31 @@ func (n *Network) noteWakeStall(cycles uint64) {
 	}
 }
 
-func (n *Network) noteMisroute() {
+func (n *Network) noteMisroute(router int) {
 	if n.collecting {
 		n.col.MisroutedHops++
 	}
-}
-
-func (n *Network) noteEscape() {
-	if n.collecting {
-		n.col.EscapedPackets++
+	if n.tracer != nil {
+		n.tracer.Emit(n.cycle, int32(router), obs.KindDetour, obs.CauseNone, 0)
 	}
 }
 
-func (n *Network) noteBypassHop() {
+func (n *Network) noteEscape(router int) {
+	if n.collecting {
+		n.col.EscapedPackets++
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(n.cycle, int32(router), obs.KindEscape, obs.CauseNone, 0)
+	}
+}
+
+func (n *Network) noteBypassHop(router int) {
 	n.progressed = true
 	if n.collecting {
 		n.col.BypassHops++
+	}
+	if n.tracer != nil {
+		n.tracer.EmitSampled(n.cycle, int32(router), obs.KindBypassHop, obs.CauseNone, 0)
 	}
 }
 
@@ -1008,10 +1047,15 @@ type RouterReport struct {
 	IdleFraction float64
 	OffFraction  float64
 	Wakeups      uint64
-	FlitsRouted  uint64 // SA grants (normal pipeline traversals)
-	BypassFlits  uint64 // flits forwarded through the NI bypass
-	PerfCentric  bool
-	HardFailed   bool // permanently failed by fault injection
+	GateOffs     uint64
+	// MeanOffInterval is the mean length of this router's gated-off
+	// stretches in cycles (off time over wakeups, or over gate-offs for a
+	// router that never woke; 0 when it never gated).
+	MeanOffInterval float64
+	FlitsRouted     uint64 // SA grants (normal pipeline traversals)
+	BypassFlits     uint64 // flits forwarded through the NI bypass
+	PerfCentric     bool
+	HardFailed      bool // permanently failed by fault injection
 }
 
 // PerRouterReports returns per-router statistics for spatial analysis
@@ -1031,6 +1075,7 @@ func (n *Network) PerRouterReports() []RouterReport {
 			ID: id, X: x, Y: y,
 			IdleFraction: it.IdleFraction(),
 			Wakeups:      r.statWakeups,
+			GateOffs:     r.statGateOffs,
 			FlitsRouted:  r.statSAGrants,
 			BypassFlits:  r.statBypassFlits,
 			PerfCentric:  perf[id],
@@ -1038,6 +1083,12 @@ func (n *Network) PerRouterReports() []RouterReport {
 		}
 		if total > 0 {
 			rep.OffFraction = float64(r.statOffCycles) / float64(total)
+		}
+		switch {
+		case r.statWakeups > 0:
+			rep.MeanOffInterval = float64(r.statOffCycles) / float64(r.statWakeups)
+		case r.statGateOffs > 0:
+			rep.MeanOffInterval = float64(r.statOffCycles) / float64(r.statGateOffs)
 		}
 		out[id] = rep
 	}

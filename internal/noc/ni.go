@@ -299,14 +299,14 @@ func (ni *NI) tryAggressiveForward(r *Router, f *flit.Flit) bool {
 			ni.fwdCount++
 			if c.escape && !f.Packet.Escaped {
 				f.Packet.Escaped = true
-				ni.net.noteEscape()
+				ni.net.noteEscape(ni.id)
 			}
 			if c.escape {
 				f.Packet.EscapeVC = c.escapeVCNext
 			}
 			if c.misroute {
 				f.Packet.Misroutes++
-				ni.net.noteMisroute()
+				ni.net.noteMisroute(ni.id)
 			}
 			granted = true
 			break
@@ -336,7 +336,7 @@ func (ni *NI) tryAggressiveForward(r *Router, f *flit.Flit) bool {
 	if ni.net.collecting {
 		r.statBypassFlits++
 	}
-	ni.net.noteBypassHop()
+	ni.net.noteBypassHop(ni.id)
 	if f.Kind.IsTail() {
 		r.outOwner[ringOut][out] = ownerFree
 		ni.fwdOutVC[v] = -1
@@ -411,7 +411,7 @@ func (ni *NI) tickBypass(r *Router) uint32 {
 			if ni.net.collecting {
 				r.statBypassFlits++
 			}
-			ni.net.noteBypassHop()
+			ni.net.noteBypassHop(ni.id)
 		} else {
 			ni.net.noteBypassInject()
 		}
@@ -513,14 +513,14 @@ func (ni *NI) forwardFromLatch(r *Router, v int) bool {
 			ni.fwdCount++
 			if c.escape && !f.Packet.Escaped {
 				f.Packet.Escaped = true
-				ni.net.noteEscape()
+				ni.net.noteEscape(ni.id)
 			}
 			if c.escape {
 				f.Packet.EscapeVC = c.escapeVCNext
 			}
 			if c.misroute {
 				f.Packet.Misroutes++
-				ni.net.noteMisroute()
+				ni.net.noteMisroute(ni.id)
 			}
 			granted = true
 			break
@@ -602,14 +602,14 @@ func (ni *NI) advanceRingInjection(r *Router) bool {
 			pkt.EnqueueTime = ni.net.cycle
 			if cd.escape && !pkt.Escaped {
 				pkt.Escaped = true
-				ni.net.noteEscape()
+				ni.net.noteEscape(ni.id)
 			}
 			if cd.escape {
 				pkt.EscapeVC = cd.escapeVCNext
 			}
 			if cd.misroute {
 				pkt.Misroutes++
-				ni.net.noteMisroute()
+				ni.net.noteMisroute(ni.id)
 			}
 			break
 		}

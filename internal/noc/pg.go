@@ -2,6 +2,7 @@ package noc
 
 import (
 	"nord/internal/fault"
+	"nord/internal/obs"
 	"nord/internal/topology"
 )
 
@@ -44,6 +45,11 @@ func (r *Router) tickController() {
 		if r.faultBlocksWake() {
 			return
 		}
+		if n.tracer != nil {
+			n.tracer.Emit(n.cycle, int32(r.id), obs.KindWakeStart, r.wakeCause(), n.cycle-r.stateSince)
+		}
+		r.watchdogWoke = false
+		r.stateSince = n.cycle
 		r.state = powerWaking
 		r.wakeCounter = p.WakeupLatency
 		r.statWakeups++
@@ -92,6 +98,24 @@ func (r *Router) wakeRequested() bool {
 		}
 	}
 	return false
+}
+
+// wakeCause attributes a granted wakeup to the signal that asserted WU,
+// mirroring wakeRequested's evaluation order: under NoRD only the
+// VC-request metric wakes a router; conventional designs check the local
+// node's injection need before scanning neighbors stalled in SA. The
+// fault watchdog overrides both (faultBlocksWake fired the wakeup).
+func (r *Router) wakeCause() obs.Cause {
+	if r.watchdogWoke {
+		return obs.CauseWatchdog
+	}
+	if r.net.p.Design == NoRD {
+		return obs.CauseVCThreshold
+	}
+	if r.net.nis[r.id].wantsRouterOn() {
+		return obs.CauseLocalInject
+	}
+	return obs.CauseSARequest
 }
 
 // canGateOff checks the gate-off conditions: empty datapath for the IC
@@ -167,6 +191,13 @@ func (r *Router) gateOff() {
 	n := r.net
 	p := &n.p
 	r.state = powerOff
+	if n.collecting {
+		r.statGateOffs++
+	}
+	if n.tracer != nil {
+		n.tracer.Emit(n.cycle, int32(r.id), obs.KindGateOff, obs.CauseNone, n.cycle-r.stateSince)
+	}
+	r.stateSince = n.cycle
 	n.noteGateOff()
 	for d := topology.Dir(0); d < topology.Local; d++ {
 		nb, ok := n.neighbor(r.id, d)
@@ -219,6 +250,10 @@ func (r *Router) completeWake() {
 	p := &n.p
 	r.state = powerOn
 	r.emptyRun = -postWakeHold
+	if n.tracer != nil {
+		n.tracer.Emit(n.cycle, int32(r.id), obs.KindWakeDone, obs.CauseNone, n.cycle-r.stateSince)
+	}
+	r.stateSince = n.cycle
 	if p.Design != NoRD {
 		return
 	}

@@ -169,8 +169,15 @@ type Router struct {
 	// Per-router statistics for spatial reports (measured interval only).
 	statOffCycles   uint64
 	statWakeups     uint64
+	statGateOffs    uint64
 	statSAGrants    uint64
 	statBypassFlits uint64
+
+	// stateSince is the cycle of the last power-FSM transition, giving
+	// the residency argument on trace events; watchdogWoke attributes the
+	// next wakeup to the fault watchdog.
+	stateSince   uint64
+	watchdogWoke bool
 
 	// saGrantsLastCycle feeds the NoRD wakeup window while the router is
 	// on: through-traffic is demand just as NI VC requests are while it
@@ -484,14 +491,14 @@ func (r *Router) allocate(d topology.Dir, v int, vc *vcState) {
 		vc.vaFails = 0
 		if c.escape && !pkt.Escaped {
 			pkt.Escaped = true
-			r.net.noteEscape()
+			r.net.noteEscape(r.id)
 		}
 		if c.escape {
 			pkt.EscapeVC = c.escapeVCNext
 		}
 		if c.misroute {
 			pkt.Misroutes++
-			r.net.noteMisroute()
+			r.net.noteMisroute(r.id)
 		}
 		r.net.noteVAGrant()
 		return

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// eventJSON is the wire form of an Event: kinds and causes as their
+// stable snake_case names.
+type eventJSON struct {
+	Cycle  uint64 `json:"cycle"`
+	Router int32  `json:"router"`
+	Kind   string `json:"kind"`
+	Cause  string `json:"cause,omitempty"`
+	Arg    uint64 `json:"arg,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		Cycle: e.Cycle, Router: e.Router,
+		Kind: e.Kind.String(), Cause: e.Cause.String(), Arg: e.Arg,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(b []byte) error {
+	var w eventJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	k, err := kindByName(w.Kind)
+	if err != nil {
+		return err
+	}
+	c, err := causeByName(w.Cause)
+	if err != nil {
+		return err
+	}
+	*e = Event{Cycle: w.Cycle, Arg: w.Arg, Router: w.Router, Kind: k, Cause: c}
+	return nil
+}
+
+func kindByName(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event kind %q", s)
+}
+
+func causeByName(s string) (Cause, error) {
+	for c, name := range causeNames {
+		if name == s {
+			return Cause(c), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown wake cause %q", s)
+}
+
+// MarshalJSON renders the state row as an integer array (Go would
+// otherwise base64 the byte slice, which is useless to shell tooling).
+func (r ResidencyRow) MarshalJSON() ([]byte, error) {
+	states := make([]int, len(r.State))
+	for i, s := range r.State {
+		states[i] = int(s)
+	}
+	return json.Marshal(struct {
+		Cycle uint64 `json:"cycle"`
+		State []int  `json:"state"`
+	}{Cycle: r.Cycle, State: states})
+}
+
+// WriteNDJSON dumps the tracer's contents as newline-delimited JSON:
+// one line per event ("type":"event"), residency sample
+// ("type":"residency") and per-router summary ("type":"summary"),
+// closed by a "type":"end" line with the recording totals.
+func (t *Tracer) WriteNDJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		// Splice the discriminator ahead of the event's own fields.
+		b, err := e.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "{\"type\":\"event\",%s\n", b[1:]); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.res {
+		b, err := row.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "{\"type\":\"residency\",%s\n", b[1:]); err != nil {
+			return err
+		}
+	}
+	for _, s := range t.sums {
+		if err := enc.Encode(struct {
+			Type string `json:"type"`
+			RouterSummary
+			MeanOffInterval float64 `json:"mean_off_interval"`
+		}{Type: "summary", RouterSummary: s, MeanOffInterval: s.MeanOffInterval()}); err != nil {
+			return err
+		}
+	}
+	return enc.Encode(struct {
+		Type    string `json:"type"`
+		Total   uint64 `json:"events_total"`
+		Dropped uint64 `json:"events_dropped"`
+	}{Type: "end", Total: t.total, Dropped: t.dropped})
+}

@@ -1,0 +1,283 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingOverwriteKeepsNewest(t *testing.T) {
+	tr := New(Config{Capacity: 4, ResidencyEvery: -1})
+	for c := uint64(1); c <= 10; c++ {
+		tr.Emit(c, 0, KindGateOff, CauseNone, 0)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	ev := tr.Events()
+	if len(ev) != 4 {
+		t.Fatalf("len(events) = %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(7 + i); e.Cycle != want {
+			t.Errorf("events[%d].Cycle = %d, want %d (chronological, newest kept)", i, e.Cycle, want)
+		}
+	}
+	// Summaries survive overwrites.
+	if got := tr.Summaries()[0].GateOffs; got != 10 {
+		t.Errorf("summary gate_offs = %d, want 10", got)
+	}
+}
+
+func TestSamplingRecordsOneInN(t *testing.T) {
+	tr := New(Config{SampleEvery: 8, ResidencyEvery: -1})
+	for c := uint64(0); c < 64; c++ {
+		tr.EmitSampled(c, 3, KindBypassHop, CauseNone, 0)
+	}
+	if got := len(tr.Events()); got != 8 {
+		t.Fatalf("recorded %d sampled events, want 8 (1-in-8 of 64)", got)
+	}
+	// The summary counts every offered event.
+	if got := tr.Summaries()[3].BypassHops; got != 64 {
+		t.Errorf("summary bypass_hops = %d, want 64", got)
+	}
+
+	all := New(Config{SampleEvery: 1, ResidencyEvery: -1})
+	for c := uint64(0); c < 10; c++ {
+		all.EmitSampled(c, 0, KindBypassHop, CauseNone, 0)
+	}
+	if got := len(all.Events()); got != 10 {
+		t.Errorf("SampleEvery=1 recorded %d events, want 10", got)
+	}
+}
+
+func TestSummaryTallies(t *testing.T) {
+	tr := New(Config{ResidencyEvery: -1})
+	tr.SetNodes(4)
+	tr.Emit(100, 2, KindGateOff, CauseNone, 100)
+	tr.Emit(150, 2, KindWakeStart, CauseSARequest, 50)
+	tr.Emit(158, 2, KindWakeDone, CauseNone, 8)
+	tr.Emit(200, 2, KindGateOff, CauseNone, 42)
+	tr.Emit(260, 2, KindWakeStart, CauseVCThreshold, 60)
+	tr.Emit(300, 2, KindDetour, CauseNone, 0)
+	tr.Emit(301, 2, KindEscape, CauseNone, 0)
+	tr.Emit(400, 1, KindHardFail, CauseNone, 0)
+
+	s := tr.Summaries()[2]
+	if s.GateOffs != 2 || s.Wakeups != 2 {
+		t.Fatalf("gate_offs/wakeups = %d/%d, want 2/2", s.GateOffs, s.Wakeups)
+	}
+	if s.OffCycles != 110 {
+		t.Errorf("off_cycles = %d, want 110", s.OffCycles)
+	}
+	if s.WakingCycles != 8 {
+		t.Errorf("waking_cycles = %d, want 8", s.WakingCycles)
+	}
+	if s.WakeSA != 1 || s.WakeVC != 1 || s.WakeLocal != 0 || s.WakeWatchdog != 0 {
+		t.Errorf("cause tallies = sa:%d vc:%d local:%d wd:%d, want 1/1/0/0",
+			s.WakeSA, s.WakeVC, s.WakeLocal, s.WakeWatchdog)
+	}
+	if s.Detours != 1 || s.Escapes != 1 {
+		t.Errorf("detours/escapes = %d/%d, want 1/1", s.Detours, s.Escapes)
+	}
+	if got := s.MeanOffInterval(); got != 55 {
+		t.Errorf("mean off interval = %v, want 55", got)
+	}
+	if !tr.Summaries()[1].HardFailed {
+		t.Errorf("router 1 not marked hard-failed")
+	}
+}
+
+func TestResidencySampling(t *testing.T) {
+	tr := New(Config{ResidencyEvery: 10})
+	tr.SetNodes(2)
+	var sampled []uint64
+	for c := uint64(0); c < 35; c++ {
+		if row := tr.ResidencyRow(c); row != nil {
+			row[0] = StateOff
+			row[1] = StateOn
+			sampled = append(sampled, c)
+		}
+	}
+	if want := []uint64{0, 10, 20, 30}; len(sampled) != len(want) {
+		t.Fatalf("sampled at %v, want %v", sampled, want)
+	}
+	rows := tr.Residency()
+	if rows[1].Cycle != 10 || rows[1].State[0] != StateOff || rows[1].State[1] != StateOn {
+		t.Errorf("row 1 = %+v, want cycle 10 states [off on]", rows[1])
+	}
+
+	off := New(Config{ResidencyEvery: -1})
+	off.SetNodes(2)
+	if row := off.ResidencyRow(0); row != nil {
+		t.Errorf("ResidencyEvery<0 still returned a row")
+	}
+}
+
+func TestDrainEvents(t *testing.T) {
+	tr := New(Config{ResidencyEvery: -1})
+	tr.Emit(1, 0, KindGateOff, CauseNone, 0)
+	tr.Emit(2, 0, KindWakeStart, CauseSARequest, 1)
+	got := tr.DrainEvents(nil)
+	if len(got) != 2 || got[0].Cycle != 1 || got[1].Cycle != 2 {
+		t.Fatalf("drained %+v, want the 2 emitted events in order", got)
+	}
+	if len(tr.Events()) != 0 {
+		t.Fatalf("ring not empty after drain")
+	}
+	tr.Emit(3, 0, KindWakeDone, CauseNone, 0)
+	got = tr.DrainEvents(got)
+	if len(got) != 3 || got[2].Cycle != 3 {
+		t.Fatalf("incremental drain appended %+v", got)
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	in := []Event{
+		{Cycle: 10, Router: 3, Kind: KindGateOff},
+		{Cycle: 60, Router: 3, Kind: KindWakeStart, Cause: CauseLocalInject, Arg: 50},
+		{Cycle: 70, Router: 5, Kind: KindBypassHop},
+	}
+	for _, e := range in {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("marshal %+v: %v", e, err)
+		}
+		var back Event
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != e {
+			t.Errorf("round trip %s: got %+v, want %+v", b, back, e)
+		}
+	}
+	var bad Event
+	if err := json.Unmarshal([]byte(`{"kind":"nope"}`), &bad); err == nil {
+		t.Errorf("unknown kind accepted")
+	}
+}
+
+func TestWriteNDJSON(t *testing.T) {
+	tr := New(Config{ResidencyEvery: 10})
+	tr.SetNodes(2)
+	tr.Emit(5, 1, KindGateOff, CauseNone, 5)
+	if row := tr.ResidencyRow(10); row != nil {
+		row[1] = StateOff
+	}
+	tr.Emit(25, 1, KindWakeStart, CauseSARequest, 20)
+
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf); err != nil {
+		t.Fatalf("WriteNDJSON: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	// 2 events + 1 residency + 2 summaries + end.
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6:\n%s", len(lines), buf.String())
+	}
+	var types []string
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %q not valid JSON: %v", ln, err)
+		}
+		types = append(types, m["type"].(string))
+	}
+	want := []string{"event", "event", "residency", "summary", "summary", "end"}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("line types = %v, want %v", types, want)
+		}
+	}
+	if !strings.Contains(lines[2], `"state":[0,1]`) {
+		t.Errorf("residency line %q missing integer state array", lines[2])
+	}
+	if !strings.Contains(lines[5], `"events_total":2`) {
+		t.Errorf("end line %q missing events_total", lines[5])
+	}
+}
+
+// TestChromeTraceGolden pins the Chrome trace-event output byte-for-byte
+// for a small hand-crafted run: router 0 gates off at 100, wakes (SA
+// request) over cycles 400-410, and is still off again from 800 at the
+// end; router 1 hard-fails at 500; a detour and a sampled bypass hop land
+// on router 2. Load the file in ui.perfetto.dev to inspect changes before
+// re-pinning.
+func TestChromeTraceGolden(t *testing.T) {
+	tr := New(Config{ResidencyEvery: 500})
+	tr.SetNodes(3)
+	if row := tr.ResidencyRow(0); row != nil {
+		row[0], row[1], row[2] = StateOn, StateOn, StateOn
+	}
+	tr.Emit(100, 0, KindGateOff, CauseNone, 100)
+	tr.Emit(400, 0, KindWakeStart, CauseSARequest, 300)
+	tr.Emit(410, 0, KindWakeDone, CauseNone, 10)
+	tr.Emit(450, 2, KindDetour, CauseNone, 0)
+	tr.Emit(470, 2, KindEscape, CauseNone, 0)
+	tr.EmitSampled(480, 2, KindBypassHop, CauseNone, 0)
+	tr.Emit(500, 1, KindHardFail, CauseNone, 0)
+	if row := tr.ResidencyRow(500); row != nil {
+		row[0], row[1], row[2] = StateOn, StateFailed, StateOn
+	}
+	tr.Emit(800, 0, KindGateOff, CauseNone, 390)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 1000); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	const want = `{"displayTimeUnit":"ms","traceEvents":[
+{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"nord routers"}},
+{"ph":"M","pid":1,"tid":0,"name":"thread_name","args":{"name":"router 0"}},
+{"ph":"M","pid":1,"tid":1,"name":"thread_name","args":{"name":"router 1"}},
+{"ph":"M","pid":1,"tid":2,"name":"thread_name","args":{"name":"router 2"}},
+{"ph":"X","pid":1,"tid":0,"ts":100,"dur":300,"name":"off"},
+{"ph":"i","pid":1,"tid":0,"ts":400,"s":"t","name":"wake:sa_request"},
+{"ph":"X","pid":1,"tid":0,"ts":400,"dur":10,"name":"waking"},
+{"ph":"i","pid":1,"tid":2,"ts":450,"s":"t","name":"detour"},
+{"ph":"i","pid":1,"tid":2,"ts":470,"s":"t","name":"escape"},
+{"ph":"i","pid":1,"tid":2,"ts":480,"s":"t","name":"bypass_hop"},
+{"ph":"i","pid":1,"tid":1,"ts":500,"s":"t","name":"hard_fail"},
+{"ph":"X","pid":1,"tid":0,"ts":800,"dur":200,"name":"off"},
+{"ph":"X","pid":1,"tid":1,"ts":500,"dur":500,"name":"failed"},
+{"ph":"C","pid":1,"ts":0,"name":"routers_off","args":{"off":0}},
+{"ph":"C","pid":1,"ts":0,"name":"routers_waking","args":{"waking":0}},
+{"ph":"C","pid":1,"ts":500,"name":"routers_off","args":{"off":1}},
+{"ph":"C","pid":1,"ts":500,"name":"routers_waking","args":{"waking":0}}
+]}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("chrome trace drifted from golden output.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// The document must stay parseable JSON.
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 17 {
+		t.Errorf("traceEvents count = %d, want 17", len(doc.TraceEvents))
+	}
+}
+
+// TestChromeTraceReconstructsLostGateOff: when the ring overwrote the
+// GateOff event, the off-slice is reconstructed from WakeStart's residency
+// argument.
+func TestChromeTraceReconstructsLostGateOff(t *testing.T) {
+	tr := New(Config{Capacity: 2, ResidencyEvery: -1})
+	tr.Emit(100, 0, KindGateOff, CauseNone, 100) // will be overwritten
+	tr.Emit(400, 0, KindWakeStart, CauseSARequest, 300)
+	tr.Emit(410, 0, KindWakeDone, CauseNone, 10)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 1000); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"ts":100,"dur":300,"name":"off"`) {
+		t.Errorf("off interval not reconstructed from WakeStart arg:\n%s", buf.String())
+	}
+}

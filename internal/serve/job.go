@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"nord/internal/obs"
 	"nord/internal/stats"
 )
 
@@ -29,6 +30,11 @@ func (s JobState) Terminal() bool {
 // /events subscribers; when exceeded, the oldest half is dropped.
 const maxProgressHistory = 4096
 
+// maxTraceHistory bounds the per-job trace-event history replayed to new
+// /trace subscribers; like the progress history, the oldest half is
+// dropped on overflow (the end-of-stream line reports the true totals).
+const maxTraceHistory = 1 << 16
+
 // Job is one submitted simulation: its identity (ID for clients, Key for
 // the content-addressed cache), its lifecycle state, the marshalled
 // result once done, and the progress-snapshot fan-out for /events
@@ -51,6 +57,14 @@ type Job struct {
 	errMsg   string
 	progress []stats.Progress
 	subs     map[chan stats.Progress]struct{}
+
+	// Cycle-level trace fan-out, populated only for traced jobs
+	// (task.traced): batches of events drained from the run's tracer,
+	// plus the recording totals stamped when the run finishes.
+	traceLog     []obs.Event
+	traceSubs    map[chan []obs.Event]struct{}
+	traceTotal   uint64
+	traceDropped uint64
 }
 
 func newJob(id string, t *task) *Job {
@@ -63,8 +77,9 @@ func newJob(id string, t *task) *Job {
 		task:    t,
 		ctx:     ctx,
 		cancel:  cancel,
-		state:   JobQueued,
-		subs:    map[chan stats.Progress]struct{}{},
+		state:     JobQueued,
+		subs:      map[chan stats.Progress]struct{}{},
+		traceSubs: map[chan []obs.Event]struct{}{},
 	}
 }
 
@@ -102,6 +117,10 @@ func (j *Job) finish(state JobState, result []byte, errMsg string) {
 		close(ch)
 	}
 	j.subs = map[chan stats.Progress]struct{}{}
+	for ch := range j.traceSubs {
+		close(ch)
+	}
+	j.traceSubs = map[chan []obs.Event]struct{}{}
 }
 
 // completeFromCache marks the job done with a memoized result.
@@ -143,6 +162,69 @@ func (j *Job) publish(p stats.Progress) {
 	}
 }
 
+// publishTrace appends a drained batch of trace events to the history and
+// fans it out to /trace subscribers. The batch is copied once (the caller
+// reuses its buffer); subscribers receive the shared read-only copy, and
+// a subscriber whose channel is full misses the batch (streams are
+// best-effort, the end line carries the true totals).
+func (j *Job) publishTrace(batch []obs.Event) {
+	if len(batch) == 0 {
+		return
+	}
+	cp := append([]obs.Event(nil), batch...)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.traceLog)+len(cp) > maxTraceHistory {
+		j.traceLog = append(j.traceLog[:0], j.traceLog[len(j.traceLog)/2:]...)
+	}
+	j.traceLog = append(j.traceLog, cp...)
+	for ch := range j.traceSubs {
+		select {
+		case ch <- cp:
+		default:
+		}
+	}
+}
+
+// setTraceTotals stamps the tracer's recording totals once the run has
+// finished (the tracer itself is confined to the worker goroutine).
+func (j *Job) setTraceTotals(total, dropped uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.traceTotal = total
+	j.traceDropped = dropped
+}
+
+// traceTotals returns the stamped recording totals.
+func (j *Job) traceTotals() (total, dropped uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceTotal, j.traceDropped
+}
+
+// subscribeTrace mirrors subscribe for the cycle-level event stream:
+// it returns the event history so far and a channel of future batches,
+// closed when the job reaches a terminal state.
+func (j *Job) subscribeTrace() ([]obs.Event, chan []obs.Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history := append([]obs.Event(nil), j.traceLog...)
+	ch := make(chan []obs.Event, 64)
+	if j.state.Terminal() {
+		close(ch)
+		return history, ch, func() {}
+	}
+	j.traceSubs[ch] = struct{}{}
+	return history, ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.traceSubs[ch]; ok {
+			delete(j.traceSubs, ch)
+			close(ch)
+		}
+	}
+}
+
 // subscribe returns the snapshot history so far and a channel of future
 // snapshots; the channel is closed when the job reaches a terminal state.
 // Call the returned cancel function when done reading.
@@ -173,6 +255,7 @@ type JobStatus struct {
 	Key      string          `json:"key"`
 	State    JobState        `json:"state"`
 	Cached   bool            `json:"cached"`
+	Traced   bool            `json:"traced,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Progress *stats.Progress `json:"progress,omitempty"`
 	Result   json.RawMessage `json:"result,omitempty"`
@@ -188,6 +271,7 @@ func (j *Job) status(includeResult bool) JobStatus {
 		Key:    j.Key,
 		State:  j.state,
 		Cached: j.cacheHit,
+		Traced: j.task.traced,
 		Error:  j.errMsg,
 	}
 	if n := len(j.progress); n > 0 {

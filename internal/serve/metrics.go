@@ -4,7 +4,14 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+
+	"nord/internal/noc"
 )
+
+// metricDesigns is the label set for the per-design counters, in the
+// paper's presentation order; every series is emitted (zeros included) so
+// dashboards see a stable set from the first scrape.
+var metricDesigns = []noc.Design{noc.NoPG, noc.ConvPG, noc.ConvPGOpt, noc.NoRD}
 
 // Metrics is the serve layer's counter set, rendered in Prometheus text
 // exposition format at /metrics. Counters are cumulative since process
@@ -19,6 +26,22 @@ type Metrics struct {
 	CacheHits     atomic.Uint64 // coalesced onto an in-flight job or served from cache
 	CacheMisses   atomic.Uint64
 	SimCycles     atomic.Uint64 // cumulative simulated cycles across all jobs
+
+	// Per-design counters, indexed by noc.Design: router wakeups and
+	// misrouted (detoured) hops measured by completed single-run jobs.
+	// Sweeps do not contribute (their cells span designs).
+	SimWakeups [4]atomic.Uint64
+	SimDetours [4]atomic.Uint64
+}
+
+// AddRun folds one completed run's headline counters into the per-design
+// series.
+func (m *Metrics) AddRun(d noc.Design, wakeups, detours uint64) {
+	if int(d) < 0 || int(d) >= len(m.SimWakeups) {
+		return
+	}
+	m.SimWakeups[d].Add(wakeups)
+	m.SimDetours[d].Add(detours)
 }
 
 // Gauges are the point-in-time values the server samples at scrape time.
@@ -56,6 +79,16 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "# HELP nord_sim_cycles_total Cumulative simulated cycles across all jobs.\n")
 	fmt.Fprintf(w, "# TYPE nord_sim_cycles_total counter\n")
 	fmt.Fprintf(w, "nord_sim_cycles_total %d\n", m.SimCycles.Load())
+	fmt.Fprintf(w, "# HELP nord_sim_wakeups_total Router wakeups measured by completed runs, by design.\n")
+	fmt.Fprintf(w, "# TYPE nord_sim_wakeups_total counter\n")
+	for _, d := range metricDesigns {
+		fmt.Fprintf(w, "nord_sim_wakeups_total{design=%q} %d\n", d.String(), m.SimWakeups[d].Load())
+	}
+	fmt.Fprintf(w, "# HELP nord_sim_detours_total Misrouted (detoured) hops measured by completed runs, by design.\n")
+	fmt.Fprintf(w, "# TYPE nord_sim_detours_total counter\n")
+	for _, d := range metricDesigns {
+		fmt.Fprintf(w, "nord_sim_detours_total{design=%q} %d\n", d.String(), m.SimDetours[d].Load())
+	}
 	fmt.Fprintf(w, "# HELP nord_queue_depth Jobs waiting in the scheduler queue.\n")
 	fmt.Fprintf(w, "# TYPE nord_queue_depth gauge\n")
 	fmt.Fprintf(w, "nord_queue_depth %d\n", g.QueueDepth)

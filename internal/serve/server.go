@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -13,9 +14,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nord/internal/obs"
 	"nord/internal/sim"
 	"nord/internal/stats"
 )
+
+// retryAfterSeconds renders a backoff hint as whole seconds for the
+// Retry-After header, clamped to >= 1: a sub-second, zero or negative
+// duration must never emit the meaningless "Retry-After: 0", which many
+// clients treat as "retry immediately" and turn into a tight loop.
+func retryAfterSeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	return secs
+}
 
 // Config tunes a Server. The zero value selects sensible defaults.
 type Config struct {
@@ -109,6 +123,7 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 //	GET    /v1/jobs/{id}        job status + result when done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
+//	GET    /v1/jobs/{id}/trace  NDJSON cycle-level event stream (jobs submitted with trace_events)
 //	GET    /metrics             Prometheus text metrics
 //	GET    /healthz             readiness (503 while draining)
 func (s *Server) Handler() http.Handler {
@@ -118,6 +133,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -183,7 +199,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Memoized result (possibly spilled to disk by an earlier eviction).
-	if val, ok := s.cache.Get(t.key); ok {
+	// Traced jobs always execute: a cached Result has no event stream.
+	if val, ok := s.cache.Get(t.key); ok && !t.traced {
 		j := s.newJobLocked(t)
 		j.completeFromCache(val)
 		s.metrics.CacheHits.Add(1)
@@ -200,7 +217,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 		if errors.Is(err, ErrQueueFull) {
 			s.metrics.JobsRejected.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
 			writeError(w, http.StatusTooManyRequests, "job queue full")
 			return
 		}
@@ -241,7 +258,11 @@ func (s *Server) execute(j *Job) {
 		return
 	}
 	s.metrics.SimsExecuted.Add(1)
-	var lastCycle uint64
+	var (
+		lastCycle uint64
+		tracer    *obs.Tracer
+		traceBuf  []obs.Event
+	)
 	opt := sim.RunOptions{
 		CheckEvery:    s.cfg.CheckEvery,
 		ProgressEvery: s.cfg.ProgressEvery,
@@ -250,13 +271,33 @@ func (s *Server) execute(j *Job) {
 				s.metrics.SimCycles.Add(p.Cycle - lastCycle)
 				lastCycle = p.Cycle
 			}
+			// The progress callback runs on the simulation goroutine, so
+			// draining the (single-goroutine) tracer here is race-free.
+			if tracer != nil {
+				traceBuf = tracer.DrainEvents(traceBuf[:0])
+				j.publishTrace(traceBuf)
+			}
 			j.publish(p)
 		},
 	}
-	payload, err := j.task.run(j.ctx, opt)
+	if j.task.traced {
+		tracer = obs.New(obs.Config{})
+		opt.Tracer = tracer
+	}
+	payload, info, err := j.task.run(j.ctx, opt)
+	if tracer != nil {
+		traceBuf = tracer.DrainEvents(traceBuf[:0])
+		j.publishTrace(traceBuf)
+		j.setTraceTotals(tracer.Total(), tracer.Dropped())
+	}
+	if info != nil {
+		s.metrics.AddRun(info.design, info.wakeups, info.detours)
+	}
 	switch {
 	case err == nil:
-		s.cache.Put(j.Key, payload)
+		if !j.task.traced {
+			s.cache.Put(j.Key, payload)
+		}
 		j.finish(JobDone, payload, "")
 		s.metrics.JobsDone.Add(1)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -349,6 +390,78 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			_ = enc.Encode(p)
+			if canFlush {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// traceEnd is the last line of a /trace stream.
+type traceEnd struct {
+	Type    string   `json:"type"`
+	Done    bool     `json:"done"`
+	State   JobState `json:"state"`
+	Total   uint64   `json:"events_total"`
+	Dropped uint64   `json:"events_dropped"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// writeTraceEvents renders a batch as NDJSON lines with the "event"
+// discriminator spliced ahead of each event's own fields.
+func writeTraceEvents(w io.Writer, batch []obs.Event) error {
+	for _, e := range batch {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "{\"type\":\"event\",%s\n", b[1:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if !j.task.traced {
+		writeError(w, http.StatusConflict, "job was not submitted with trace_events; resubmit the spec with \"trace_events\": true")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, canFlush := w.(http.Flusher)
+	history, ch, unsub := j.subscribeTrace()
+	defer unsub()
+	if err := writeTraceEvents(w, history); err != nil {
+		return
+	}
+	if canFlush {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case batch, open := <-ch:
+			if !open {
+				st := j.status(false)
+				total, dropped := j.traceTotals()
+				_ = enc.Encode(traceEnd{Type: "end", Done: true, State: st.State,
+					Total: total, Dropped: dropped, Error: st.Error})
+				if canFlush {
+					flusher.Flush()
+				}
+				return
+			}
+			if err := writeTraceEvents(w, batch); err != nil {
+				return
+			}
 			if canFlush {
 				flusher.Flush()
 			}

@@ -22,38 +22,61 @@ type JobRequest struct {
 }
 
 // SyntheticSpec requests one synthetic-traffic run (sim.RunSynthetic).
+// Warmup is a pointer so an explicit 0 ("no warmup") is distinguishable
+// from the field being omitted (the paper's default); TraceEvents asks
+// the server to record a cycle-level event trace for this job, streamed
+// at GET /v1/jobs/{id}/trace.
 type SyntheticSpec struct {
 	Design        string  `json:"design"`
 	Width         int     `json:"width"`
 	Height        int     `json:"height"`
 	Pattern       string  `json:"pattern"`
 	Rate          float64 `json:"rate"`
-	Warmup        int     `json:"warmup"`
+	Warmup        *int    `json:"warmup,omitempty"`
 	Measure       int     `json:"measure"`
 	Seed          int64   `json:"seed"`
 	WakeupLatency int     `json:"wakeup_latency"`
 	NoPerfCentric bool    `json:"no_perf_centric"`
 	ForcedOff     bool    `json:"forced_off"`
+	TraceEvents   bool    `json:"trace_events,omitempty"`
 }
 
 // WorkloadSpec requests one PARSEC-like full-system run (sim.RunWorkload).
 type WorkloadSpec struct {
-	Design    string  `json:"design"`
-	Benchmark string  `json:"benchmark"`
-	Scale     float64 `json:"scale"`
-	Warmup    int     `json:"warmup"`
-	Seed      int64   `json:"seed"`
-	MaxCycles uint64  `json:"max_cycles"`
+	Design      string  `json:"design"`
+	Benchmark   string  `json:"benchmark"`
+	Scale       float64 `json:"scale"`
+	Warmup      *int    `json:"warmup,omitempty"`
+	Seed        int64   `json:"seed"`
+	MaxCycles   uint64  `json:"max_cycles"`
+	TraceEvents bool    `json:"trace_events,omitempty"`
 }
 
 // TraceSpec requests a trace replay (sim.ReplayTrace) of a server-local
 // trace file.
 type TraceSpec struct {
-	Design    string `json:"design"`
-	Path      string `json:"path"`
-	Warmup    int    `json:"warmup"`
-	Seed      int64  `json:"seed"`
-	MaxCycles uint64 `json:"max_cycles"`
+	Design      string `json:"design"`
+	Path        string `json:"path"`
+	Warmup      *int   `json:"warmup,omitempty"`
+	Seed        int64  `json:"seed"`
+	MaxCycles   uint64 `json:"max_cycles"`
+	TraceEvents bool   `json:"trace_events,omitempty"`
+}
+
+// warmupValue maps a spec's optional warmup onto the sim layer's
+// convention: omitted means "use the design default" (encoded as 0),
+// an explicit 0 means "no warmup" (the sim.ZeroWarmup sentinel), and
+// negatives are client errors.
+func warmupValue(w *int) (int, error) {
+	switch {
+	case w == nil:
+		return 0, nil
+	case *w < 0:
+		return 0, fmt.Errorf("negative warmup %d", *w)
+	case *w == 0:
+		return sim.ZeroWarmup, nil
+	}
+	return *w, nil
 }
 
 // SweepSpec requests a parallel load sweep over all four designs
@@ -67,13 +90,39 @@ type SweepSpec struct {
 	Seed    int64     `json:"seed"`
 }
 
+// runInfo carries a completed run's headline counters back to the server
+// for the per-design Prometheus series (nil for sweeps, whose cells span
+// designs).
+type runInfo struct {
+	design  noc.Design
+	wakeups uint64
+	detours uint64
+}
+
+func resultInfo(r sim.Result) *runInfo {
+	return &runInfo{design: r.Design, wakeups: r.Wakeups, detours: r.Misroutes}
+}
+
 // task is a resolved, runnable job body: the content-address key of the
 // fully-filled config plus the closure that executes it and marshals the
-// result.
+// result. traced marks jobs recording a cycle-level event trace: their
+// key carries a "+trace" kind suffix so they never coalesce with (or get
+// served from the cache of) untraced runs, which would have no events to
+// stream.
 type task struct {
-	kind string
-	key  string
-	run  func(ctx context.Context, opt sim.RunOptions) ([]byte, error)
+	kind   string
+	key    string
+	traced bool
+	run    func(ctx context.Context, opt sim.RunOptions) ([]byte, *runInfo, error)
+}
+
+// taskKey derives the content-address key, isolating traced jobs in their
+// own key space.
+func taskKey(kind string, traced bool, cfg any) (string, error) {
+	if traced {
+		kind += "+trace"
+	}
+	return CacheKey(kind, cfg)
 }
 
 // resolveTask validates a request and resolves it into a task. Errors are
@@ -115,8 +164,12 @@ func (sp *SyntheticSpec) resolve() (*task, error) {
 	if sp.Rate < 0 || sp.Rate > 1 {
 		return nil, fmt.Errorf("rate %g outside [0, 1] flits/node/cycle", sp.Rate)
 	}
-	if sp.Width < 0 || sp.Height < 0 || sp.Warmup < 0 || sp.Measure < 0 {
+	if sp.Width < 0 || sp.Height < 0 || sp.Measure < 0 {
 		return nil, fmt.Errorf("negative dimension or cycle count")
+	}
+	warmup, err := warmupValue(sp.Warmup)
+	if err != nil {
+		return nil, err
 	}
 	if sp.Pattern != "" {
 		if _, err := traffic.PatternByName(sp.Pattern); err != nil {
@@ -129,23 +182,24 @@ func (sp *SyntheticSpec) resolve() (*task, error) {
 		Height:        sp.Height,
 		Pattern:       sp.Pattern,
 		Rate:          sp.Rate,
-		Warmup:        sp.Warmup,
+		Warmup:        warmup,
 		Measure:       sp.Measure,
 		Seed:          sp.Seed,
 		WakeupLatency: sp.WakeupLatency,
 		NoPerfCentric: sp.NoPerfCentric,
 		ForcedOff:     sp.ForcedOff,
 	}.Filled()
-	key, err := CacheKey("synthetic", cfg)
+	key, err := taskKey("synthetic", sp.TraceEvents, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &task{kind: "synthetic", key: key, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, error) {
+	return &task{kind: "synthetic", key: key, traced: sp.TraceEvents, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, *runInfo, error) {
 		r, err := sim.RunSyntheticOpts(ctx, cfg, opt)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return json.Marshal(r)
+		b, err := json.Marshal(r)
+		return b, resultInfo(r), err
 	}}, nil
 }
 
@@ -160,24 +214,29 @@ func (sp *WorkloadSpec) resolve() (*task, error) {
 	if sp.Scale < 0 {
 		return nil, fmt.Errorf("negative scale %g", sp.Scale)
 	}
+	warmup, err := warmupValue(sp.Warmup)
+	if err != nil {
+		return nil, err
+	}
 	cfg := sim.WorkloadConfig{
 		Design:    design,
 		Benchmark: sp.Benchmark,
 		Scale:     sp.Scale,
-		Warmup:    sp.Warmup,
+		Warmup:    warmup,
 		Seed:      sp.Seed,
 		MaxCycles: sp.MaxCycles,
 	}.Filled()
-	key, err := CacheKey("workload", cfg)
+	key, err := taskKey("workload", sp.TraceEvents, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &task{kind: "workload", key: key, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, error) {
+	return &task{kind: "workload", key: key, traced: sp.TraceEvents, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, *runInfo, error) {
 		r, err := sim.RunWorkloadOpts(ctx, cfg, opt)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return json.Marshal(r)
+		b, err := json.Marshal(r)
+		return b, resultInfo(r), err
 	}}, nil
 }
 
@@ -189,27 +248,32 @@ func (sp *TraceSpec) resolve() (*task, error) {
 	if sp.Path == "" {
 		return nil, fmt.Errorf("trace path required")
 	}
-	cfg := sim.TraceConfig{
-		Design:    design,
-		Path:      sp.Path,
-		Warmup:    sp.Warmup,
-		Seed:      sp.Seed,
-		MaxCycles: sp.MaxCycles,
-	}.Filled()
-	key, err := CacheKey("trace", cfg)
+	warmup, err := warmupValue(sp.Warmup)
 	if err != nil {
 		return nil, err
 	}
-	return &task{kind: "trace", key: key, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, error) {
+	cfg := sim.TraceConfig{
+		Design:    design,
+		Path:      sp.Path,
+		Warmup:    warmup,
+		Seed:      sp.Seed,
+		MaxCycles: sp.MaxCycles,
+	}.Filled()
+	key, err := taskKey("trace", sp.TraceEvents, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &task{kind: "trace", key: key, traced: sp.TraceEvents, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, *runInfo, error) {
 		tr, err := trace.Load(cfg.Path)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		r, err := sim.ReplayTraceOpts(ctx, cfg, tr, opt)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return json.Marshal(r)
+		b, err := json.Marshal(r)
+		return b, resultInfo(r), err
 	}}, nil
 }
 
@@ -244,11 +308,12 @@ func (sp *SweepSpec) resolve() (*task, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &task{kind: "sweep", key: key, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, error) {
+	return &task{kind: "sweep", key: key, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, *runInfo, error) {
 		pts, err := sim.ParallelLoadSweepCtx(ctx, norm.Width, norm.Height, norm.Pattern, norm.Rates, norm.Measure, norm.Seed)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return json.Marshal(pts)
+		b, err := json.Marshal(pts)
+		return b, nil, err
 	}}, nil
 }

@@ -50,7 +50,9 @@ func WriteSuiteCSV(w io.Writer, sr *SuiteResult) error {
 	if err := cw.Write(header); err != nil {
 		return err
 	}
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	// Round-trip precision: a fixed 8 significant digits corrupts
+	// cycle/energy counts above 1e8.
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
 	for _, b := range sr.Benchmarks {
 		for _, d := range FullDesigns() {
@@ -125,7 +127,7 @@ func ResultCSVHeader() []string {
 // ResultCSVRecord renders one result as a CSV record aligned with
 // ResultCSVHeader.
 func ResultCSVRecord(r Result) []string {
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	triggered, retx, lost, routersLost := 0, uint64(0), uint64(0), 0
 	if r.Fault != nil {
 		triggered = r.Fault.TriggeredTotal()
@@ -142,6 +144,36 @@ func ResultCSVRecord(r Result) []string {
 		strconv.Itoa(triggered), strconv.FormatUint(retx, 10),
 		strconv.FormatUint(lost, 10), strconv.Itoa(routersLost), firstLine(r.Err),
 	}
+}
+
+// WriteRouterCSV emits a Result's per-router spatial statistics as CSV:
+// one row per mesh position with residency fractions, gating activity and
+// bypass usage, for heat maps and the Fig. 12-14-style per-router
+// timeline analyses.
+func WriteRouterCSV(w io.Writer, r Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"router", "x", "y", "idle_fraction", "off_fraction",
+		"wakeups", "gate_offs", "mean_off_interval_cycles",
+		"flits_routed", "bypass_flits", "perf_centric", "hard_failed",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 5, 64) }
+	for _, rr := range r.Routers {
+		if err := cw.Write([]string{
+			strconv.Itoa(rr.ID), strconv.Itoa(rr.X), strconv.Itoa(rr.Y),
+			f(rr.IdleFraction), f(rr.OffFraction),
+			strconv.FormatUint(rr.Wakeups, 10), strconv.FormatUint(rr.GateOffs, 10),
+			strconv.FormatFloat(rr.MeanOffInterval, 'f', 1, 64),
+			strconv.FormatUint(rr.FlitsRouted, 10), strconv.FormatUint(rr.BypassFlits, 10),
+			strconv.FormatBool(rr.PerfCentric), strconv.FormatBool(rr.HardFailed),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // WriteDegradationCSV emits the graceful-degradation sweep as CSV.

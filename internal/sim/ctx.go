@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"nord/internal/noc"
+	"nord/internal/obs"
 	"nord/internal/stats"
 )
 
@@ -23,6 +24,11 @@ type RunOptions struct {
 	// (default 1024) — the bound on how many extra cycles a canceled run
 	// keeps ticking.
 	CheckEvery int
+	// Tracer, when non-nil, is attached to the network as the cycle-level
+	// event sink (power-gating FSM transitions, wakeup causes, detours;
+	// see internal/obs). Like Progress it is driven on the simulation
+	// goroutine: drain it from the Progress callback or after the run.
+	Tracer *obs.Tracer
 }
 
 func (o RunOptions) checkEvery() int {

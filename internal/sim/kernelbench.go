@@ -86,6 +86,53 @@ func (r *KernelReport) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// LoadKernelReport reads a report previously written by WriteJSON.
+func LoadKernelReport(r io.Reader) (*KernelReport, error) {
+	var rep KernelReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("sim: bad kernel baseline: %w", err)
+	}
+	if len(rep.Points) == 0 {
+		return nil, fmt.Errorf("sim: kernel baseline has no points")
+	}
+	return &rep, nil
+}
+
+// CompareBaseline matches this report's points against a committed
+// baseline by (design, rate) and returns one complaint per regression:
+// a point whose ns/cycle exceeds the baseline by more than tol
+// (fractional — 0.75 tolerates a +75% slowdown, absorbing CI-runner
+// noise while still catching order-of-magnitude regressions), or a
+// baseline point missing from this report (a silently dropped matrix
+// cell would otherwise read as a pass). Faster-than-baseline points and
+// points new in this report are fine.
+func (r *KernelReport) CompareBaseline(base *KernelReport, tol float64) []string {
+	type cell struct {
+		design string
+		rate   float64
+	}
+	cur := make(map[cell]KernelPoint, len(r.Points))
+	for _, p := range r.Points {
+		cur[cell{p.Design, p.Rate}] = p
+	}
+	var bad []string
+	for _, bp := range base.Points {
+		p, ok := cur[cell{bp.Design, bp.Rate}]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s rate %.2f: present in baseline, missing from this run", bp.Design, bp.Rate))
+			continue
+		}
+		if bp.NsPerCycle <= 0 {
+			continue
+		}
+		if ratio := p.NsPerCycle / bp.NsPerCycle; ratio > 1+tol {
+			bad = append(bad, fmt.Sprintf("%s rate %.2f: %.1f ns/cycle vs baseline %.1f (%.2fx, tolerance %.2fx)",
+				p.Design, p.Rate, p.NsPerCycle, bp.NsPerCycle, ratio, 1+tol))
+		}
+	}
+	return bad
+}
+
 // KernelBench runs the kernel benchmark matrix: for each design and load,
 // an 8x8 network is warmed up for KernelWarmup cycles and then ticked
 // `measure` times under the wall clock and the allocator counters

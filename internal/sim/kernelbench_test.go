@@ -3,6 +3,7 @@ package sim
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 )
 
@@ -54,5 +55,63 @@ func TestKernelBench(t *testing.T) {
 func TestKernelBenchRejectsBadCycleCount(t *testing.T) {
 	if _, err := KernelBench(0, 1, nil); err == nil {
 		t.Fatal("expected an error for a zero cycle count")
+	}
+}
+
+// TestCompareBaseline covers the baseline comparison used by
+// `nordbench -kernel -baseline BENCH_kernel.json`: slowdowns beyond the
+// tolerance and dropped matrix cells are flagged; speedups, new cells and
+// within-tolerance drift are not.
+func TestCompareBaseline(t *testing.T) {
+	pt := func(design string, rate, ns float64) KernelPoint {
+		return KernelPoint{Design: design, Rate: rate, NsPerCycle: ns}
+	}
+	base := &KernelReport{Points: []KernelPoint{
+		pt("NoRD", 0.02, 100),
+		pt("NoRD", 0.10, 200),
+		pt("No_PG", 0.02, 100),
+	}}
+
+	cur := &KernelReport{Points: []KernelPoint{
+		pt("NoRD", 0.02, 170),  // +70%: within a 0.75 tolerance
+		pt("NoRD", 0.10, 500),  // 2.5x: regression
+		pt("Conv_PG", 0.02, 1), // new cell: fine
+		// No_PG 0.02 dropped: flagged
+	}}
+	bad := cur.CompareBaseline(base, 0.75)
+	if len(bad) != 2 {
+		t.Fatalf("got %d complaints, want 2: %v", len(bad), bad)
+	}
+	var slow, missing bool
+	for _, msg := range bad {
+		if strings.Contains(msg, "NoRD rate 0.10") {
+			slow = true
+		}
+		if strings.Contains(msg, "No_PG rate 0.02") && strings.Contains(msg, "missing") {
+			missing = true
+		}
+	}
+	if !slow || !missing {
+		t.Fatalf("complaints do not cover the slowdown and the dropped cell: %v", bad)
+	}
+
+	if bad := base.CompareBaseline(base, 0); len(bad) != 0 {
+		t.Fatalf("self-comparison flagged %v", bad)
+	}
+
+	// A zero-timing baseline point (hand-edited or truncated file) must
+	// not divide by zero or flag spuriously.
+	zero := &KernelReport{Points: []KernelPoint{pt("NoRD", 0.02, 0)}}
+	if bad := cur.CompareBaseline(zero, 0.75); len(bad) != 0 {
+		t.Fatalf("zero-baseline point flagged %v", bad)
+	}
+}
+
+func TestLoadKernelReportRejectsEmpty(t *testing.T) {
+	if _, err := LoadKernelReport(strings.NewReader(`{"points":[]}`)); err == nil {
+		t.Fatal("expected an error for a baseline with no points")
+	}
+	if _, err := LoadKernelReport(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("expected an error for malformed JSON")
 	}
 }

@@ -67,6 +67,12 @@ type Result struct {
 // StaticEnergy returns the router static energy (the Figure 8 metric).
 func (r Result) StaticEnergy() float64 { return r.Energy.RouterStatic }
 
+// ZeroWarmup is the sentinel for an explicit zero-cycle warmup. The
+// config Warmup fields keep "0 means the paper's default" for backward
+// compatibility (and stable cache keys), so a literal 0 cannot express
+// "no warmup"; pass ZeroWarmup instead and fill() resolves it to 0.
+const ZeroWarmup = -1
+
 // SynthConfig configures a synthetic-traffic run.
 type SynthConfig struct {
 	Design        noc.Design
@@ -123,6 +129,8 @@ func (c *SynthConfig) fill() {
 	}
 	if c.Warmup == 0 {
 		c.Warmup = 10_000
+	} else if c.Warmup < 0 {
+		c.Warmup = 0
 	}
 	if c.Measure == 0 {
 		c.Measure = 100_000
@@ -249,6 +257,7 @@ func RunSyntheticOpts(ctx context.Context, c SynthConfig, opt RunOptions) (Resul
 	if err != nil {
 		return Result{}, err
 	}
+	net.SetTracer(opt.Tracer)
 	sched := c.FaultSchedule
 	if sched == nil && c.Faults != nil {
 		fc := *c.Faults
@@ -335,6 +344,8 @@ func (c *WorkloadConfig) fill() {
 	}
 	if c.Warmup == 0 {
 		c.Warmup = 5_000
+	} else if c.Warmup < 0 {
+		c.Warmup = 0
 	}
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 200_000_000
@@ -393,6 +404,7 @@ func RunWorkloadOpts(ctx context.Context, c WorkloadConfig, opt RunOptions) (Res
 	if err != nil {
 		return Result{}, err
 	}
+	net.SetTracer(opt.Tracer)
 	sys, err := memsys.NewSystem(net, prof, c.Seed)
 	if err != nil {
 		return Result{}, err
@@ -438,6 +450,11 @@ type TraceConfig struct {
 }
 
 func (c *TraceConfig) fill() {
+	if c.Warmup < 0 {
+		// TraceConfig.Warmup has no implicit default, so the ZeroWarmup
+		// sentinel simply normalises to 0.
+		c.Warmup = 0
+	}
 	if c.MaxCycles == 0 {
 		c.MaxCycles = 100_000_000
 	}
@@ -515,6 +532,7 @@ func ReplayTraceOpts(ctx context.Context, c TraceConfig, tr *trace.Trace, opt Ru
 	if err != nil {
 		return Result{}, err
 	}
+	net.SetTracer(opt.Tracer)
 	rep := trace.NewReplayer(net, tr)
 	obs := newRunObserver(ctx, opt, net, 0)
 	warm := uint64(c.Warmup)

@@ -83,6 +83,32 @@ echo "$METRICS" | grep -q '^nord_cache_hits_total 1$' || fail "expected one cach
 echo "$METRICS" | grep -q '^nord_cache_misses_total 1$' || fail "expected one cache miss"
 echo "$METRICS" | grep -q '^nord_jobs_total{state="done"} 1$' || fail "expected one done job"
 
+echo "== submitting a traced job and streaming /trace"
+TRACED_JOB='{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"pattern":"uniform","rate":0.05,"warmup":1000,"measure":20000,"seed":7,"trace_events":true}}'
+TSUB=$(curl -fsS "$BASE/v1/jobs" -d "$TRACED_JOB")
+echo "   $TSUB"
+TID=$(echo "$TSUB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$TID" ] || fail "no traced job id in $TSUB"
+echo "$TSUB" | grep -q '"cached":false' || fail "traced job must not hit the untraced cache: $TSUB"
+# The stream blocks until the job finishes, so this also acts as the poll.
+TRACE=$(curl -fsS --max-time 60 "$BASE/v1/jobs/$TID/trace")
+echo "$TRACE" | grep -q '"type":"event"' || fail "trace stream has no event lines"
+echo "$TRACE" | grep -q '"kind":"gate_off"' || fail "trace stream has no gate_off events"
+echo "$TRACE" | grep -q '"kind":"wake_start"' || fail "trace stream has no wake_start events"
+END=$(echo "$TRACE" | grep '"type":"end"')
+[ -n "$END" ] || fail "trace stream has no end line"
+echo "   $END"
+echo "$END" | grep -q '"done":true' || fail "trace end line not terminal: $END"
+echo "$END" | grep -q '"state":"done"' || fail "traced job did not finish: $END"
+# An untraced job must refuse the trace stream with guidance.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs/$ID/trace")
+[ "$CODE" = 409 ] || fail "untraced job trace returned $CODE, want 409"
+
+echo "== checking per-design metrics"
+METRICS=$(curl -fsS "$BASE/metrics")
+echo "$METRICS" | grep -q '^nord_sim_wakeups_total{design="NoRD"} [1-9]' || fail "no NoRD wakeups counted"
+echo "$METRICS" | grep -q '^nord_sim_detours_total{design="No_PG"} 0$' || fail "missing zero-valued detour series"
+
 echo "== draining with SIGTERM"
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" || fail "server exited non-zero on drain"
