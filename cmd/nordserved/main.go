@@ -3,16 +3,30 @@
 // a content-addressed result cache so identical configurations are
 // simulated exactly once.
 //
+// It runs in one of three modes:
+//
+//	-mode local        single process (the default): jobs execute on an
+//	                   in-process worker pool.
+//	-mode coordinator  owns the queue and cache, leases jobs to fleet
+//	                   workers over /fleet/v1/*, and degrades to local
+//	                   execution when no worker is registered.
+//	-mode worker       registers with -coordinator, leases jobs,
+//	                   heartbeats while executing, and reports results.
+//
 //	nordserved -addr :8080 -workers 4 -cache-dir /var/cache/nord
+//	nordserved -mode coordinator -addr :8080 -lease-ttl 10s
+//	nordserved -mode worker -coordinator http://host:8080 -slots 4
 //
 //	curl -s localhost:8080/v1/jobs -d '{"kind":"synthetic","synthetic":{"design":"nord","rate":0.05}}'
 //	curl -s localhost:8080/v1/jobs/j000001
 //	curl -sN localhost:8080/v1/jobs/j000001/events
 //	curl -s localhost:8080/metrics
 //
-// On SIGTERM/SIGINT the server drains: intake stops (503), queued and
+// On SIGTERM/SIGINT a server drains: intake stops (503), queued and
 // running jobs get -drain-timeout to finish, then stragglers are
-// canceled cooperatively through the sim layer's context polling.
+// canceled cooperatively through the sim layer's context polling. A
+// worker gives unfinished jobs back to the coordinator so they requeue
+// immediately instead of waiting out their lease TTL.
 package main
 
 import (
@@ -27,29 +41,82 @@ import (
 	"syscall"
 	"time"
 
+	"nord/internal/fleet"
 	"nord/internal/serve"
 )
 
 func main() {
 	var (
+		mode         = flag.String("mode", "local", "local | coordinator | worker")
 		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers      = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS)")
+		workers      = flag.Int("workers", 0, "worker pool size (default GOMAXPROCS; coordinator mode: local fallback pool size, default 1)")
 		queue        = flag.Int("queue", 64, "queued-job limit before submissions get 429")
 		cacheEntries = flag.Int("cache-entries", 512, "in-memory result cache capacity")
 		cacheDir     = flag.String("cache-dir", "", "directory for on-disk cache spill (empty disables)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM")
+		jobDeadline  = flag.Duration("job-deadline", 0, "per-job wall-clock execution budget (0 = unbounded)")
+
+		// Coordinator-mode flags.
+		leaseTTL    = flag.Duration("lease-ttl", 10*time.Second, "coordinator: lease TTL (un-heartbeated leases requeue after this)")
+		maxAttempts = flag.Int("max-attempts", 4, "coordinator: lease grants per job before it is failed")
+		retryBase   = flag.Duration("retry-base", 250*time.Millisecond, "coordinator: requeue backoff base")
+		retryMax    = flag.Duration("retry-max", 5*time.Second, "coordinator: requeue backoff cap")
+
+		// Worker-mode flags.
+		coordinator = flag.String("coordinator", "", "worker: coordinator base URL (http://host:port)")
+		workerID    = flag.String("worker-id", "", "worker: fleet identity (default hostname-pid)")
+		slots       = flag.Int("slots", 1, "worker: jobs executed in parallel")
 	)
 	flag.Parse()
 
-	srv, err := serve.New(serve.Config{
+	switch *mode {
+	case "worker":
+		os.Exit(runWorker(*coordinator, *workerID, *slots))
+	case "local", "coordinator":
+	default:
+		fmt.Fprintf(os.Stderr, "nordserved: unknown -mode %q (local, coordinator, worker)\n", *mode)
+		os.Exit(2)
+	}
+
+	cfg := serve.Config{
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
-	})
+		JobDeadline:  *jobDeadline,
+	}
+	var coord *fleet.Coordinator
+	if *mode == "coordinator" {
+		localWorkers := *workers
+		if localWorkers == 0 {
+			localWorkers = 1
+		}
+		cfg.Dispatcher = func(s *serve.Server) serve.Dispatcher {
+			coord = fleet.NewCoordinator(s, fleet.Options{
+				LeaseTTL:     *leaseTTL,
+				MaxAttempts:  *maxAttempts,
+				RetryBase:    *retryBase,
+				RetryMax:     *retryMax,
+				QueueDepth:   *queue,
+				LocalWorkers: localWorkers,
+				JobDeadline:  *jobDeadline,
+			})
+			return coord
+		}
+	}
+
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	handler := srv.Handler()
+	if coord != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/fleet/", coord.Handler())
+		mux.Handle("/", handler)
+		handler = mux
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -59,7 +126,7 @@ func main() {
 	}
 	fmt.Printf("nordserved listening on %s\n", ln.Addr())
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.Serve(ln) }()
 
@@ -80,4 +147,41 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runWorker runs worker mode until SIGTERM/SIGINT; in-flight jobs are
+// given back to the coordinator on the way out.
+func runWorker(coordinator, id string, slots int) int {
+	if coordinator == "" {
+		fmt.Fprintln(os.Stderr, "nordserved: -mode worker needs -coordinator http://host:port")
+		return 2
+	}
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := fleet.NewWorker(fleet.WorkerOptions{
+		Coordinator: coordinator,
+		ID:          id,
+		Slots:       slots,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	fmt.Printf("nordserved worker %s serving %s (%d slots)\n", id, coordinator, slots)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	fmt.Printf("nordserved worker %s: drained\n", id)
+	return 0
 }

@@ -140,6 +140,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	if *rate < 0 || *rate > 1 {
+		fail(fmt.Errorf("rate %g outside [0, 1] flits/node/cycle", *rate))
+	}
+	if *width < 2 || *height < 2 {
+		fail(fmt.Errorf("mesh must be at least 2x2, got %dx%d", *width, *height))
+	}
+	if *measure <= 0 {
+		fail(fmt.Errorf("measure must be positive, got %d", *measure))
+	}
 	// The flag default is the paper's warmup, so a 0 on the command line
 	// is always an explicit request for no warmup.
 	if *warmup == 0 {

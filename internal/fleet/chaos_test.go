@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nord/internal/serve"
+)
+
+// chaosEvent is one scheduled fault injection.
+type chaosEvent struct {
+	at     time.Duration // since schedule start
+	kind   string        // "kill", "stall", "partition"
+	target int           // worker index
+	dur    time.Duration // outage length (stall/partition)
+}
+
+// chaosSchedule derives a deterministic fault schedule from seed: kills
+// (process death: canceled run + permanently blackholed transport),
+// stalls (short network outage, shorter than the lease TTL) and
+// partitions (long outage, guaranteed to expire any held lease). Worker
+// 0 is never killed so the fleet always retains capacity; each other
+// worker dies at most once.
+func chaosSchedule(seed int64, workers int, leaseTTL time.Duration) []chaosEvent {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []string{"stall", "partition", "kill", "stall", "kill", "partition"}
+	var (
+		events []chaosEvent
+		at     time.Duration
+		killed = map[int]bool{}
+	)
+	for _, kind := range kinds {
+		at += leaseTTL/2 + time.Duration(rng.Int63n(int64(leaseTTL)))
+		ev := chaosEvent{at: at, kind: kind}
+		switch kind {
+		case "kill":
+			ev.target = 1 + rng.Intn(workers-1)
+			if killed[ev.target] { // each worker dies once; retarget or skip
+				ev.target = 1 + (ev.target % (workers - 1))
+			}
+			if killed[ev.target] {
+				continue
+			}
+			killed[ev.target] = true
+		case "stall":
+			ev.target = rng.Intn(workers)
+			ev.dur = leaseTTL/4 + time.Duration(rng.Int63n(int64(leaseTTL/2)))
+		case "partition":
+			ev.target = rng.Intn(workers)
+			ev.dur = 2*leaseTTL + time.Duration(rng.Int63n(int64(leaseTTL)))
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// TestFleetChaosExactlyOnce is the ISSUE's chaos harness: a seeded
+// kill/stall/partition schedule against a three-worker fleet, asserting
+// that every submitted job reaches a terminal state exactly once and
+// that every result is byte-identical to a single-process run. Run it
+// under -race (the CI soak job does).
+func TestFleetChaosExactlyOnce(t *testing.T) {
+	const (
+		seed     = 7
+		nWorkers = 3
+	)
+	// LeaseTTL is generous relative to the heartbeat period (TTL/3) so
+	// that CPU contention on small CI hosts cannot expire a healthy
+	// worker's lease; only injected faults do.
+	opts := Options{
+		LeaseTTL:     1200 * time.Millisecond,
+		PollWait:     200 * time.Millisecond,
+		JanitorEvery: 50 * time.Millisecond,
+		MaxAttempts:  12, // generous: chaos must delay jobs, never fail them
+		RetryBase:    20 * time.Millisecond,
+		RetryMax:     200 * time.Millisecond,
+		LocalWorkers: 2,
+		Seed:         seed,
+	}
+	tf := newTestFleet(t, opts, serve.Config{})
+	workers := make([]*testWorker, nWorkers)
+	for i := range workers {
+		workers[i] = startWorker(t, tf, []string{"w0", "w1", "w2"}[i], int64(70+i))
+	}
+	waitWorkers(t, tf, nWorkers)
+
+	// The job mix: mostly short runs plus two long ones that straddle
+	// several chaos events regardless of host speed.
+	var bodies []string
+	for s := int64(1); s <= 6; s++ {
+		bodies = append(bodies, synthJob(s, 80_000))
+	}
+	bodies = append(bodies, synthJob(9, 400_000), synthJob(10, 400_000))
+
+	ids := make([]string, len(bodies))
+	for i, body := range bodies {
+		ids[i] = mustSubmit(t, tf, body)
+	}
+
+	// Run the fault schedule.
+	start := time.Now()
+	for _, ev := range chaosSchedule(seed, nWorkers, opts.LeaseTTL) {
+		if d := ev.at - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		w := workers[ev.target]
+		t.Logf("chaos +%s: %s %s (dur %s)", ev.at.Round(time.Millisecond), ev.kind, w.id, ev.dur)
+		switch ev.kind {
+		case "kill":
+			w.chaos.kill()
+			w.cancel()
+		default:
+			w.chaos.blockFor(ev.dur)
+		}
+	}
+
+	// Every job must land in done — chaos may only slow them down.
+	for _, id := range ids {
+		waitJobState(t, tf, id, serve.JobDone, 180*time.Second)
+	}
+	// Reference results, computed in-process after the fleet phase (they
+	// are deterministic, so ordering is irrelevant; running them later
+	// keeps the CPU free for worker heartbeats during the chaos window).
+	for i, id := range ids {
+		st := getJob(t, tf, id)
+		if !bytes.Equal(st.Result, localPayload(t, bodies[i])) {
+			t.Errorf("job %s (%s): result diverged from single-process run", id, bodies[i])
+		}
+	}
+
+	// Exactly-once terminal accounting: the counters only move on the
+	// one finish() call that performs the transition, so any duplicate
+	// or lost terminal state shows up as a count mismatch.
+	m := tf.srv.Metrics()
+	done, failed, canceled := m.JobsDone.Load(), m.JobsFailed.Load(), m.JobsCanceled.Load()
+	if int(done) != len(bodies) || failed != 0 || canceled != 0 {
+		t.Errorf("terminal accounting done=%d failed=%d canceled=%d, want %d/0/0",
+			done, failed, canceled, len(bodies))
+	}
+
+	// The coordinator must end quiescent: no tracked jobs, no leases.
+	tf.coord.mu.Lock()
+	tracked, queued := len(tf.coord.jobs), len(tf.coord.queue)
+	tf.coord.mu.Unlock()
+	if tracked != 0 || queued != 0 {
+		t.Errorf("coordinator not quiescent: %d tracked, %d queued", tracked, queued)
+	}
+	t.Logf("chaos run: %d leases, %d expiries, %d requeues, %d stale (%d accepted), %d local",
+		tf.coord.leasesGranted.Load(), tf.coord.leaseExpiries.Load(), tf.coord.requeues.Load(),
+		tf.coord.staleResults.Load(), tf.coord.staleAccepted.Load(), tf.coord.localJobs.Load())
+}

@@ -1,0 +1,165 @@
+// Package fleet promotes the single-process simulation service into a
+// coordinator/worker fleet, carrying NoRD's decoupling insight up the
+// stack: the paper's bypass ring keeps packets flowing while routers
+// power off or fail, and the fleet keeps jobs flowing while workers die,
+// wedge or partition.
+//
+// The coordinator owns the job queue and the content-addressed result
+// cache (both live in internal/serve; the coordinator plugs in as the
+// serve.Dispatcher). Workers register over HTTP, lease jobs with a TTL,
+// heartbeat while executing, and report results; every wire payload is
+// the same JSON the public API speaks.
+//
+// Robustness invariants:
+//
+//   - A lease that is not heartbeated within its TTL expires and the job
+//     is requeued with exponential backoff + jitter; after MaxAttempts
+//     grants the job is failed, never silently lost.
+//   - A job reaches a terminal state exactly once. Late or duplicate
+//     reports (a stale lease racing a retry) account nothing: results
+//     are deterministic and content-addressed, so a stale *success* is
+//     accepted if the job is still open, while stale failures are
+//     discarded — the active attempt decides.
+//   - Client cancellation and per-job execution deadlines propagate to
+//     workers through heartbeat responses and lease grants, riding the
+//     sim layer's context-cancellation polling.
+//   - With zero live workers the coordinator degrades to local
+//     in-process execution, so a fleet of one is exactly the old
+//     single-process service.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Options tunes a Coordinator. The zero value selects production-shaped
+// defaults; tests shrink the timings.
+type Options struct {
+	// LeaseTTL is how long a granted lease lives without a heartbeat
+	// before the job is presumed abandoned and requeued (default 10s).
+	LeaseTTL time.Duration
+	// PollWait is how long a worker's lease request parks waiting for
+	// work before returning empty (default 2s, clamped below LeaseTTL).
+	PollWait time.Duration
+	// WorkerTTL is the registration liveness window: a worker not heard
+	// from for this long no longer counts toward fleet capacity
+	// (default 2*LeaseTTL).
+	WorkerTTL time.Duration
+	// JanitorEvery is the lease-expiry sweep interval (default
+	// LeaseTTL/4) — the bound on how long past its TTL a dead worker's
+	// lease can linger.
+	JanitorEvery time.Duration
+	// MaxAttempts bounds lease grants per job before it is failed
+	// (default 4).
+	MaxAttempts int
+	// RetryBase and RetryMax shape the requeue backoff:
+	// RetryBase·2^(attempt-1) capped at RetryMax, plus up to 50% jitter
+	// (defaults 250ms and 5s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// QueueDepth bounds fleet-queued plus leased jobs; beyond it Submit
+	// reports backpressure (default 256).
+	QueueDepth int
+	// LocalWorkers sizes the in-process fallback pool used when no
+	// workers are live and for jobs that cannot ship (traced jobs, trace
+	// replays of coordinator-local files). Default 1.
+	LocalWorkers int
+	// LocalQueueDepth bounds the fallback pool's queue (default
+	// QueueDepth).
+	LocalQueueDepth int
+	// JobDeadline is the per-execution wall-clock budget handed to
+	// workers in lease grants (0 = unbounded).
+	JobDeadline time.Duration
+	// Seed drives the requeue jitter; 0 seeds from the clock.
+	Seed int64
+}
+
+func (o *Options) fill() {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.PollWait <= 0 {
+		o.PollWait = 2 * time.Second
+	}
+	if o.PollWait > o.LeaseTTL {
+		o.PollWait = o.LeaseTTL
+	}
+	if o.WorkerTTL <= 0 {
+		o.WorkerTTL = 2 * o.LeaseTTL
+	}
+	if o.JanitorEvery <= 0 {
+		o.JanitorEvery = o.LeaseTTL / 4
+		if o.JanitorEvery < 10*time.Millisecond {
+			o.JanitorEvery = 10 * time.Millisecond
+		}
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 250 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 5 * time.Second
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.LocalWorkers <= 0 {
+		o.LocalWorkers = 1
+	}
+	if o.LocalQueueDepth <= 0 {
+		o.LocalQueueDepth = o.QueueDepth
+	}
+	if o.Seed == 0 {
+		o.Seed = time.Now().UnixNano()
+	}
+}
+
+// Backoff returns the attempt-indexed retry delay: base·2^(attempt-1)
+// capped at max, plus up to 50% uniform jitter drawn from random (in
+// [0, 1)). Jitter decorrelates retries — dead-worker requeues and
+// worker reconnects that would otherwise thunder back in lockstep.
+func Backoff(base, max time.Duration, attempt int, random float64) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if max < base {
+		max = base
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	shift := uint(attempt - 1)
+	if shift > 30 {
+		shift = 30
+	}
+	d := base << shift
+	if d <= 0 || d > max {
+		d = max
+	}
+	return d + time.Duration(random*float64(d)/2)
+}
+
+// lockedRand is a mutex-guarded rand.Rand: jitter draws come from
+// multiple goroutines (janitor, handlers, worker slots).
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+// leaseID renders a lease identity; epochs are coordinator-unique.
+func leaseID(epoch uint64) string { return fmt.Sprintf("L%06d", epoch) }

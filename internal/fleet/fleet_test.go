@@ -1,0 +1,603 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nord/internal/serve"
+	"nord/internal/sim"
+)
+
+// ---- harness ----
+
+type testFleet struct {
+	srv   *serve.Server
+	coord *Coordinator
+	ts    *httptest.Server
+}
+
+// newTestFleet builds a coordinator-mode server: the serve API and the
+// /fleet/v1 endpoints on one listener, mirroring cmd/nordserved.
+func newTestFleet(t *testing.T, opts Options, cfg serve.Config) *testFleet {
+	t.Helper()
+	if cfg.CheckEvery == 0 {
+		cfg.CheckEvery = 64 // fast cancellation under test timings
+	}
+	if cfg.ProgressEvery == 0 {
+		cfg.ProgressEvery = 2000
+	}
+	var coord *Coordinator
+	cfg.Dispatcher = func(s *serve.Server) serve.Dispatcher {
+		coord = NewCoordinator(s, opts)
+		return coord
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/fleet/", coord.Handler())
+	mux.Handle("/", srv.Handler())
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return &testFleet{srv: srv, coord: coord, ts: ts}
+}
+
+// chaosTransport is an http.RoundTripper with injectable failures: a
+// temporary partition window or a permanent blackhole (killed process).
+type chaosTransport struct {
+	base http.RoundTripper
+
+	mu    sync.Mutex
+	until time.Time
+	dead  bool
+}
+
+func (ct *chaosTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	ct.mu.Lock()
+	blocked := ct.dead || time.Now().Before(ct.until)
+	ct.mu.Unlock()
+	if blocked {
+		return nil, errors.New("chaos: network partitioned")
+	}
+	return ct.base.RoundTrip(r)
+}
+
+// blockFor drops every request for the next d (heals automatically).
+func (ct *chaosTransport) blockFor(d time.Duration) {
+	ct.mu.Lock()
+	if u := time.Now().Add(d); u.After(ct.until) {
+		ct.until = u
+	}
+	ct.mu.Unlock()
+}
+
+// kill blackholes the transport permanently.
+func (ct *chaosTransport) kill() {
+	ct.mu.Lock()
+	ct.dead = true
+	ct.mu.Unlock()
+}
+
+type testWorker struct {
+	id     string
+	chaos  *chaosTransport
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// startWorker runs a fleet worker against tf until stopped (or test end).
+func startWorker(t *testing.T, tf *testFleet, id string, seed int64) *testWorker {
+	t.Helper()
+	chaos := &chaosTransport{base: http.DefaultTransport}
+	w, err := NewWorker(WorkerOptions{
+		Coordinator:   tf.ts.URL,
+		ID:            id,
+		Client:        &http.Client{Transport: chaos},
+		ReconnectBase: 20 * time.Millisecond,
+		ReconnectMax:  250 * time.Millisecond,
+		CheckEvery:    64,
+		ProgressEvery: 2000,
+		Seed:          seed,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	tw := &testWorker{id: id, chaos: chaos, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(tw.done)
+		_ = w.Run(ctx)
+	}()
+	t.Cleanup(tw.stop)
+	return tw
+}
+
+// stop shuts the worker down gracefully and waits for it to exit.
+func (tw *testWorker) stop() {
+	tw.cancel()
+	<-tw.done
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %s waiting for %s", timeout, what)
+}
+
+func waitWorkers(t *testing.T, tf *testFleet, n int) {
+	t.Helper()
+	waitFor(t, 10*time.Second, fmt.Sprintf("%d live workers", n), func() bool {
+		return tf.coord.Workers() >= n
+	})
+}
+
+type submitResp struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cached bool   `json:"cached"`
+}
+
+func submitJob(t *testing.T, tf *testFleet, body string) (int, submitResp) {
+	t.Helper()
+	resp, err := http.Post(tf.ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr submitResp
+	data, _ := io.ReadAll(resp.Body)
+	_ = json.Unmarshal(data, &sr)
+	return resp.StatusCode, sr
+}
+
+func mustSubmit(t *testing.T, tf *testFleet, body string) string {
+	t.Helper()
+	code, sr := submitJob(t, tf, body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	return sr.ID
+}
+
+func getJob(t *testing.T, tf *testFleet, id string) serve.JobStatus {
+	t.Helper()
+	resp, err := http.Get(tf.ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitJobState(t *testing.T, tf *testFleet, id string, want serve.JobState, timeout time.Duration) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st := getJob(t, tf, id)
+		if st.State == want {
+			return st
+		}
+		if st.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q) while waiting for %s", id, st.State, st.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach %s within %s", id, want, timeout)
+	return serve.JobStatus{}
+}
+
+func synthJob(seed int64, measure int) string {
+	return fmt.Sprintf(`{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"pattern":"uniform","rate":0.05,"warmup":100,"measure":%d,"seed":%d}}`, measure, seed)
+}
+
+// localPayload executes body in-process, bypassing the fleet entirely:
+// the byte-identical reference for every remote result.
+func localPayload(t *testing.T, body string) []byte {
+	t.Helper()
+	var req serve.JobRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := serve.ExecuteRequest(context.Background(), &req, sim.RunOptions{CheckEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+func fleetMetric(t *testing.T, tf *testFleet, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(tf.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(line, name)), 64)
+			if err != nil {
+				t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in /metrics output", name)
+	return 0
+}
+
+// ---- unit: backoff ----
+
+func TestBackoffBounds(t *testing.T) {
+	base, max := 100*time.Millisecond, time.Second
+	for attempt := 1; attempt <= 10; attempt++ {
+		raw := base << uint(attempt-1)
+		if raw <= 0 || raw > max {
+			raw = max
+		}
+		// random=0 pins the deterministic floor; random→1 the jitter cap.
+		if got := Backoff(base, max, attempt, 0); got != raw {
+			t.Errorf("attempt %d: floor %s, want %s", attempt, got, raw)
+		}
+		if got := Backoff(base, max, attempt, 0.999); got < raw || got >= raw+raw/2+time.Millisecond {
+			t.Errorf("attempt %d: jittered %s outside [%s, %s)", attempt, got, raw, raw+raw/2)
+		}
+	}
+	// Degenerate inputs stay sane: attempt<1 behaves like 1, base<=0 gets
+	// a floor, and huge attempts cannot overflow past max.
+	if got := Backoff(base, max, 0, 0); got != base {
+		t.Errorf("attempt 0: %s, want %s", got, base)
+	}
+	if got := Backoff(0, 0, 1, 0); got <= 0 {
+		t.Errorf("zero base produced %s", got)
+	}
+	if got := Backoff(base, max, 63, 0); got != max {
+		t.Errorf("attempt 63: %s, want cap %s", got, max)
+	}
+}
+
+// ---- integration: happy path ----
+
+// TestFleetEndToEndMatchesLocal runs four jobs through a two-worker
+// fleet and checks the acceptance criterion that matters most: results
+// that crossed the wire are byte-identical to single-process runs, and
+// every job reached a terminal state exactly once.
+func TestFleetEndToEndMatchesLocal(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     600 * time.Millisecond,
+		PollWait:     150 * time.Millisecond,
+		JanitorEvery: 25 * time.Millisecond,
+		RetryBase:    20 * time.Millisecond,
+		RetryMax:     100 * time.Millisecond,
+		Seed:         1,
+	}
+	tf := newTestFleet(t, opts, serve.Config{})
+	startWorker(t, tf, "w1", 11)
+	startWorker(t, tf, "w2", 12)
+	waitWorkers(t, tf, 2)
+
+	const n = 4
+	bodies := make([]string, n)
+	ids := make([]string, n)
+	for i := range bodies {
+		bodies[i] = synthJob(int64(100+i), 20_000)
+		ids[i] = mustSubmit(t, tf, bodies[i])
+	}
+	for i, id := range ids {
+		st := waitJobState(t, tf, id, serve.JobDone, 120*time.Second)
+		if want := localPayload(t, bodies[i]); !bytes.Equal(st.Result, want) {
+			t.Errorf("job %s: fleet result differs from local run\nfleet: %s\nlocal: %s", id, st.Result, want)
+		}
+	}
+
+	m := tf.srv.Metrics()
+	if done, failed, canceled := m.JobsDone.Load(), m.JobsFailed.Load(), m.JobsCanceled.Load(); done != n || failed != 0 || canceled != 0 {
+		t.Errorf("terminal accounting done=%d failed=%d canceled=%d, want %d/0/0", done, failed, canceled, n)
+	}
+	if local := tf.coord.localJobs.Load(); local != 0 {
+		t.Errorf("%d jobs leaked to the local pool with two workers live", local)
+	}
+
+	// A re-submission is a cache hit serving the remote result's bytes.
+	code, sr := submitJob(t, tf, bodies[0])
+	if code != http.StatusOK || !sr.Cached {
+		t.Fatalf("resubmit: HTTP %d cached=%v, want 200 + cache hit", code, sr.Cached)
+	}
+	if st := getJob(t, tf, sr.ID); !bytes.Equal(st.Result, localPayload(t, bodies[0])) {
+		t.Errorf("cached result differs from local run")
+	}
+}
+
+// ---- integration: failure handling ----
+
+// TestFleetFailoverWithinLeaseTTL kills a worker (blackholed transport +
+// canceled process) while it holds a lease, and requires the coordinator
+// to requeue the job within roughly one lease TTL and a second worker to
+// finish it — the ISSUE's headline failover criterion.
+func TestFleetFailoverWithinLeaseTTL(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     400 * time.Millisecond,
+		PollWait:     100 * time.Millisecond,
+		JanitorEvery: 20 * time.Millisecond,
+		MaxAttempts:  6,
+		RetryBase:    10 * time.Millisecond,
+		RetryMax:     50 * time.Millisecond,
+		Seed:         2,
+	}
+	tf := newTestFleet(t, opts, serve.Config{})
+	w1 := startWorker(t, tf, "w1", 21)
+	waitWorkers(t, tf, 1)
+
+	body := synthJob(7, 400_000)
+	id := mustSubmit(t, tf, body)
+	waitJobState(t, tf, id, serve.JobRunning, 30*time.Second)
+
+	// Kill w1 mid-job: no give-back can get through, so recovery must
+	// come from lease expiry.
+	w1.chaos.kill()
+	w1.cancel()
+	killedAt := time.Now()
+	startWorker(t, tf, "w2", 22)
+
+	waitFor(t, 3*opts.LeaseTTL, "lease expiry requeue", func() bool {
+		return tf.coord.requeues.Load() >= 1
+	})
+	if lag := time.Since(killedAt); lag > 3*opts.LeaseTTL {
+		t.Errorf("requeue took %s, want within ~one lease TTL (%s)", lag, opts.LeaseTTL)
+	}
+
+	st := waitJobState(t, tf, id, serve.JobDone, 120*time.Second)
+	if want := localPayload(t, body); !bytes.Equal(st.Result, want) {
+		t.Errorf("failover result differs from local run")
+	}
+	if tf.coord.leaseExpiries.Load() == 0 {
+		t.Error("no lease expiry recorded for the killed worker")
+	}
+	if local := tf.coord.localJobs.Load(); local != 0 {
+		t.Errorf("job fell back to the local pool (%d) instead of failing over to w2", local)
+	}
+	m := tf.srv.Metrics()
+	if done := m.JobsDone.Load(); done != 1 {
+		t.Errorf("JobsDone=%d, want exactly 1 (no double terminal transition)", done)
+	}
+}
+
+// TestFleetGracefulGiveBack stops a worker cleanly mid-job: the shutdown
+// path reports the job back (requeue) so it moves to the other worker
+// immediately, without waiting out the lease TTL.
+func TestFleetGracefulGiveBack(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     10 * time.Second, // long: expiry would blow the test timeout
+		PollWait:     100 * time.Millisecond,
+		JanitorEvery: 50 * time.Millisecond,
+		RetryBase:    10 * time.Millisecond,
+		RetryMax:     50 * time.Millisecond,
+		Seed:         3,
+	}
+	tf := newTestFleet(t, opts, serve.Config{})
+	w1 := startWorker(t, tf, "w1", 31)
+	waitWorkers(t, tf, 1)
+
+	body := synthJob(8, 400_000)
+	id := mustSubmit(t, tf, body)
+	waitJobState(t, tf, id, serve.JobRunning, 30*time.Second)
+
+	// Bring up the successor before stopping w1 so the fleet never goes
+	// workerless (which would legitimately divert the job to the local
+	// pool and mask the give-back path).
+	startWorker(t, tf, "w2", 32)
+	waitWorkers(t, tf, 2)
+	w1.stop()
+
+	st := waitJobState(t, tf, id, serve.JobDone, 120*time.Second)
+	if want := localPayload(t, body); !bytes.Equal(st.Result, want) {
+		t.Errorf("result after give-back differs from local run")
+	}
+	if tf.coord.requeues.Load() == 0 {
+		t.Error("graceful shutdown did not requeue the in-flight job")
+	}
+	if exp := tf.coord.leaseExpiries.Load(); exp != 0 {
+		t.Errorf("%d lease expiries; give-back should requeue without one", exp)
+	}
+	if local := tf.coord.localJobs.Load(); local != 0 {
+		t.Errorf("job ran on the local pool (%d) instead of the second worker", local)
+	}
+}
+
+// TestFleetLocalFallbackNoWorkers submits to a workerless coordinator:
+// it must degrade to in-process execution instead of queueing forever.
+func TestFleetLocalFallbackNoWorkers(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     300 * time.Millisecond,
+		JanitorEvery: 20 * time.Millisecond,
+		LocalWorkers: 2,
+		Seed:         4,
+	}
+	tf := newTestFleet(t, opts, serve.Config{})
+
+	body := synthJob(9, 5_000)
+	id := mustSubmit(t, tf, body)
+	st := waitJobState(t, tf, id, serve.JobDone, 60*time.Second)
+	if want := localPayload(t, body); !bytes.Equal(st.Result, want) {
+		t.Errorf("local-fallback result differs from direct run")
+	}
+	if local := tf.coord.localJobs.Load(); local != 1 {
+		t.Errorf("localJobs=%d, want 1", local)
+	}
+	if v := fleetMetric(t, tf, "nord_fleet_workers_live"); v != 0 {
+		t.Errorf("nord_fleet_workers_live=%v, want 0", v)
+	}
+	if v := fleetMetric(t, tf, "nord_fleet_local_jobs_total"); v != 1 {
+		t.Errorf("nord_fleet_local_jobs_total=%v, want 1", v)
+	}
+}
+
+// TestFleetCancelPropagates cancels a job leased to a remote worker: the
+// next heartbeat carries the cancellation, the worker stops within the
+// sim layer's poll bound, and the job lands in canceled exactly once.
+// It also pins remote progress reporting: heartbeat snapshots feed the
+// job's status like a local run's would.
+func TestFleetCancelPropagates(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     450 * time.Millisecond,
+		PollWait:     100 * time.Millisecond,
+		JanitorEvery: 20 * time.Millisecond,
+		Seed:         5,
+	}
+	tf := newTestFleet(t, opts, serve.Config{})
+	startWorker(t, tf, "w1", 51)
+	waitWorkers(t, tf, 1)
+
+	// Effectively endless: only cancellation ends it.
+	id := mustSubmit(t, tf, synthJob(10, 80_000_000))
+	waitJobState(t, tf, id, serve.JobRunning, 30*time.Second)
+	waitFor(t, 30*time.Second, "heartbeat-carried progress", func() bool {
+		return getJob(t, tf, id).Progress != nil
+	})
+
+	req, _ := http.NewRequest(http.MethodDelete, tf.ts.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: HTTP %d", resp.StatusCode)
+	}
+
+	waitFor(t, 30*time.Second, "job canceled", func() bool {
+		return getJob(t, tf, id).State == serve.JobCanceled
+	})
+	if canceled := tf.srv.Metrics().JobsCanceled.Load(); canceled != 1 {
+		t.Errorf("JobsCanceled=%d, want exactly 1", canceled)
+	}
+}
+
+// TestFleetDeadlineFailsJob checks the per-job execution deadline rides
+// the lease grant to the worker: a run that blows its wall-clock budget
+// comes back failed (not canceled), with the deadline named.
+func TestFleetDeadlineFailsJob(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     600 * time.Millisecond,
+		PollWait:     100 * time.Millisecond,
+		JanitorEvery: 20 * time.Millisecond,
+		JobDeadline:  200 * time.Millisecond,
+		Seed:         6,
+	}
+	tf := newTestFleet(t, opts, serve.Config{})
+	startWorker(t, tf, "w1", 61)
+	waitWorkers(t, tf, 1)
+
+	id := mustSubmit(t, tf, synthJob(11, 80_000_000))
+	waitFor(t, 60*time.Second, "deadline failure", func() bool {
+		return getJob(t, tf, id).State == serve.JobFailed
+	})
+	if st := getJob(t, tf, id); !strings.Contains(st.Error, "deadline") {
+		t.Errorf("failure error %q does not name the deadline", st.Error)
+	}
+	m := tf.srv.Metrics()
+	if failed, done := m.JobsFailed.Load(), m.JobsDone.Load(); failed != 1 || done != 0 {
+		t.Errorf("failed=%d done=%d, want 1/0", failed, done)
+	}
+}
+
+// TestFleetRetriesExhausted registers a "leech" worker that leases jobs
+// but never heartbeats or reports — the wedged-worker failure mode. The
+// job must cycle through MaxAttempts lease grants (each expiring) and
+// then fail with a diagnosable error instead of looping forever.
+func TestFleetRetriesExhausted(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     100 * time.Millisecond,
+		PollWait:     50 * time.Millisecond,
+		JanitorEvery: 10 * time.Millisecond,
+		MaxAttempts:  2,
+		RetryBase:    10 * time.Millisecond,
+		RetryMax:     20 * time.Millisecond,
+		Seed:         7,
+	}
+	tf := newTestFleet(t, opts, serve.Config{})
+
+	// The leech: registers and leases over the raw protocol, then sits on
+	// every grant. Its polling keeps it "live", so the coordinator never
+	// falls back to local execution — the retry budget must decide.
+	leechCtx, stopLeech := context.WithCancel(context.Background())
+	defer stopLeech()
+	leechDone := make(chan struct{})
+	post := func(path string, body any, out any) error {
+		b, _ := json.Marshal(body)
+		req, err := http.NewRequestWithContext(leechCtx, http.MethodPost, tf.ts.URL+path, bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode == http.StatusOK {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := post("/fleet/v1/register", RegisterRequest{WorkerID: "leech"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		defer close(leechDone)
+		for leechCtx.Err() == nil {
+			var grant LeaseGrant
+			_ = post("/fleet/v1/lease", LeaseRequest{WorkerID: "leech", WaitMs: 50}, &grant)
+		}
+	}()
+	t.Cleanup(func() { stopLeech(); <-leechDone })
+
+	id := mustSubmit(t, tf, synthJob(12, 5_000))
+	waitFor(t, 60*time.Second, "retries exhausted", func() bool {
+		return getJob(t, tf, id).State == serve.JobFailed
+	})
+	st := getJob(t, tf, id)
+	if !strings.Contains(st.Error, "lease attempts") {
+		t.Errorf("exhaustion error %q does not explain the lease attempts", st.Error)
+	}
+	if got := tf.coord.retriesExhausted.Load(); got != 1 {
+		t.Errorf("retriesExhausted=%d, want 1", got)
+	}
+	if granted := tf.coord.leasesGranted.Load(); granted != uint64(opts.MaxAttempts) {
+		t.Errorf("leasesGranted=%d, want exactly MaxAttempts=%d", granted, opts.MaxAttempts)
+	}
+	if failed := tf.srv.Metrics().JobsFailed.Load(); failed != 1 {
+		t.Errorf("JobsFailed=%d, want exactly 1", failed)
+	}
+}

@@ -305,8 +305,8 @@ func (s *System) RunCtx(ctx context.Context, maxCycles, every uint64, hook func(
 			return s.now(), nil
 		}
 		if s.now()%every == 0 {
-			if err := ctx.Err(); err != nil {
-				return 0, err
+			if ctx.Err() != nil {
+				return 0, context.Cause(ctx)
 			}
 			if hook != nil {
 				hook(s.now())

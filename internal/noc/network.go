@@ -594,8 +594,8 @@ func (n *Network) RunCtx(ctx context.Context, cycles, checkEvery int) error {
 			return err
 		}
 		if (i+1)%checkEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
 			}
 		}
 	}
@@ -616,8 +616,8 @@ func (n *Network) DrainCtx(ctx context.Context, maxCycles, checkEvery int) error
 			return err
 		}
 		if (i+1)%checkEvery == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
 			}
 		}
 	}

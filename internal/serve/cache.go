@@ -1,18 +1,33 @@
 package serve
 
 import (
+	"bytes"
 	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 )
 
+// spillMagic heads every spill file, followed by the hex sha256 of the
+// payload and a newline. Validating the digest on read means a torn
+// write (crash mid-spill on a filesystem that reorders data and rename),
+// truncation, or bit rot is detected and discarded instead of being
+// served as a result.
+const spillMagic = "nordspill1 "
+
 // Cache is the content-addressed result cache: an in-memory LRU over
 // canonical cache keys holding marshalled job results, with an optional
 // on-disk spill directory. Evicted entries are written to the spill
 // directory and transparently reloaded (and re-promoted) on a later miss,
 // so a small memory budget still serves a large working set.
+//
+// Disk I/O never happens under the cache lock: spill reads and writes
+// run on the caller's goroutine against a quiescent file (writes are
+// temp-file + rename, so readers only ever see complete files), keeping
+// a slow disk from stalling every concurrent lookup.
 type Cache struct {
 	mu  sync.Mutex
 	cap int
@@ -41,49 +56,67 @@ func NewCache(capacity int, spillDir string) (*Cache, error) {
 }
 
 // Get returns the cached result for key, consulting memory first and the
-// spill directory second (promoting a disk hit back into memory).
+// spill directory second (promoting a disk hit back into memory). The
+// disk read happens outside the critical section.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
-		return el.Value.(*cacheEntry).val, true
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true
 	}
-	if c.dir == "" {
+	dir := c.dir
+	c.mu.Unlock()
+	if dir == "" {
 		return nil, false
 	}
-	val, err := os.ReadFile(c.spillPath(key))
-	if err != nil {
+	val, ok := readSpill(c.spillPath(key))
+	if !ok {
 		return nil, false
 	}
-	c.insertLocked(key, val)
+	// Promote. Another goroutine may have raced the same disk read (or a
+	// Put); insertLocked refreshes idempotently either way.
+	evicted := c.insert(key, val)
+	c.writeSpills(evicted)
 	return val, true
 }
 
 // Put inserts (or refreshes) a result, evicting the least recently used
-// entries to the spill directory when over capacity.
+// entries to the spill directory when over capacity. Spill writes happen
+// on the caller's goroutine, outside the cache lock.
 func (c *Cache) Put(key string, val []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.insertLocked(key, val)
+	c.writeSpills(c.insert(key, val))
 }
 
-func (c *Cache) insertLocked(key string, val []byte) {
+// insert adds the entry under the lock and returns any evicted entries
+// for the caller to spill outside it.
+func (c *Cache) insert(key string, val []byte) []*cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		el.Value.(*cacheEntry).val = val
 		c.ll.MoveToFront(el)
-		return
+		return nil
 	}
 	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	var evicted []*cacheEntry
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		ent := back.Value.(*cacheEntry)
 		if c.dir != "" {
-			// A failed spill write only costs a future recompute.
-			_ = os.WriteFile(c.spillPath(ent.key), ent.val, 0o644)
+			evicted = append(evicted, ent)
 		}
 		c.ll.Remove(back)
 		delete(c.m, ent.key)
+	}
+	return evicted
+}
+
+func (c *Cache) writeSpills(ents []*cacheEntry) {
+	for _, ent := range ents {
+		// A failed spill write only costs a future recompute.
+		_ = writeSpill(c.dir, c.spillPath(ent.key), ent.val)
 	}
 }
 
@@ -98,4 +131,56 @@ func (c *Cache) Len() int {
 // are filesystem-safe by construction.
 func (c *Cache) spillPath(key string) string {
 	return filepath.Join(c.dir, key+".json")
+}
+
+// writeSpill persists one entry crash-safely: the header + payload go to
+// a temp file in the same directory, fsync, then an atomic rename onto
+// the final name. A crash at any point leaves either the old file, no
+// file, or a stray temp file — never a half-written spill under the
+// final name.
+func writeSpill(dir, path string, val []byte) error {
+	sum := sha256.Sum256(val)
+	f, err := os.CreateTemp(dir, ".spill-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(append(append([]byte(spillMagic+hex.EncodeToString(sum[:])), '\n'), val...))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		_ = os.Remove(tmp)
+	}
+	return err
+}
+
+// readSpill loads and validates one spill file. A malformed header or a
+// digest mismatch (truncated or corrupt payload) removes the file and
+// reports a miss: recomputing a result is always safe, serving a corrupt
+// one never is.
+func readSpill(path string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	headerLen := len(spillMagic) + sha256.Size*2 + 1
+	valid := len(data) >= headerLen &&
+		bytes.HasPrefix(data, []byte(spillMagic)) &&
+		data[headerLen-1] == '\n'
+	if valid {
+		val := data[headerLen:]
+		sum := sha256.Sum256(val)
+		if hex.EncodeToString(sum[:]) == string(data[len(spillMagic):headerLen-1]) {
+			return val, true
+		}
+	}
+	_ = os.Remove(path)
+	return nil, false
 }

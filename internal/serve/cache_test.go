@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -75,6 +77,113 @@ func TestCacheSpillSurvivesRestart(t *testing.T) {
 		if v, ok := c2.Get(fmt.Sprintf("key%d", i)); !ok || string(v) != want {
 			t.Fatalf("key%d not recovered from spill: %q %v", i, v, ok)
 		}
+	}
+}
+
+// TestCacheSpillRejectsCorruption covers the crash-safety contract: a
+// truncated or bit-flipped spill file must read as a miss (and be
+// removed), never served as a result.
+func TestCacheSpillRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k1", []byte(`{"ok":true}`))
+	c.Put("k2", []byte("evictor")) // spills k1
+
+	path := filepath.Join(dir, "k1.json")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corruptions := map[string][]byte{
+		"truncated payload": good[:len(good)-4],
+		"truncated header":  good[:10],
+		"flipped bit":       append(append([]byte{}, good[:len(good)-1]...), good[len(good)-1]^1),
+		"empty":             {},
+		"legacy raw json":   []byte(`{"ok":true}`), // pre-header format: unverifiable, must not be served
+	}
+	for name, data := range corruptions {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := c.Get("k1"); ok {
+			t.Fatalf("%s: corrupt spill served as a hit: %q", name, v)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("%s: corrupt spill not removed (err=%v)", name, err)
+		}
+	}
+
+	// An intact file still round-trips after all that.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c.Get("k1"); !ok || string(v) != `{"ok":true}` {
+		t.Fatalf("valid spill lost: %q %v", v, ok)
+	}
+}
+
+// TestCacheSpillWriteIsAtomic checks the temp-file + rename protocol:
+// after a Put that spills, no temp files linger and the spill validates.
+func TestCacheSpillWriteIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(1, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		c.Put(fmt.Sprintf("key%d", i), []byte(fmt.Sprintf("val%d", i)))
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".spill-") {
+			t.Fatalf("stray temp file %s left behind", e.Name())
+		}
+	}
+	if v, ok := c.Get("key3"); !ok || string(v) != "val3" {
+		t.Fatalf("spilled key3: %q %v", v, ok)
+	}
+}
+
+// TestCacheConcurrentDiskGets hammers the disk-hit path from many
+// goroutines: the read happens outside the cache lock, every caller
+// must still see the value, and -race must stay quiet.
+func TestCacheConcurrentDiskGets(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const spilled = 8
+	for i := 0; i < spilled+2; i++ { // capacity 2: the first 8 keys spill
+		c.Put(fmt.Sprintf("key%d", i), []byte(fmt.Sprintf("val%d", i)))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (g + i) % spilled
+				want := fmt.Sprintf("val%d", k)
+				if v, ok := c.Get(fmt.Sprintf("key%d", k)); !ok || string(v) != want {
+					errs <- fmt.Errorf("key%d: got %q ok=%v", k, v, ok)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }
 

@@ -50,13 +50,14 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	state    JobState
-	cacheHit bool
-	result   []byte
-	errMsg   string
-	progress []stats.Progress
-	subs     map[chan stats.Progress]struct{}
+	mu        sync.Mutex
+	state     JobState
+	cacheHit  bool
+	result    []byte
+	errMsg    string
+	lastCycle uint64
+	progress  []stats.Progress
+	subs      map[chan stats.Progress]struct{}
 
 	// Cycle-level trace fan-out, populated only for traced jobs
 	// (task.traced): batches of events drained from the run's tracer,
@@ -102,13 +103,43 @@ func (j *Job) markRunning() bool {
 	return true
 }
 
+// MarkRunning is markRunning for external dispatchers (a fleet
+// coordinator granting a lease).
+func (j *Job) MarkRunning() bool { return j.markRunning() }
+
+// MarkQueued returns a running job to the queue — the lease-expiry
+// requeue path. It is a no-op on terminal jobs.
+func (j *Job) MarkQueued() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == JobRunning {
+		j.state = JobQueued
+	}
+}
+
+// Context exposes the job's cancellation context so external dispatchers
+// can observe client cancellation (DELETE /v1/jobs/{id}) and propagate it
+// to remote workers.
+func (j *Job) Context() context.Context { return j.ctx }
+
+// Traced reports whether the job records a cycle-level event trace.
+// Traced jobs must execute in-process: their event stream cannot ride the
+// fleet result wire.
+func (j *Job) Traced() bool { return j.task.traced }
+
+// RequestJSON returns the job's original submission body, the unit that
+// ships to a fleet worker for remote execution.
+func (j *Job) RequestJSON() []byte { return j.task.req }
+
 // finish records the terminal state and closes every subscriber stream.
-// It is a no-op if the job is already terminal.
-func (j *Job) finish(state JobState, result []byte, errMsg string) {
+// It reports whether this call performed the transition: a job reaches a
+// terminal state exactly once, and only the transitioning caller may
+// account it (metrics, cache fill).
+func (j *Job) finish(state JobState, result []byte, errMsg string) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
-		return
+		return false
 	}
 	j.state = state
 	j.result = result
@@ -121,6 +152,7 @@ func (j *Job) finish(state JobState, result []byte, errMsg string) {
 		close(ch)
 	}
 	j.traceSubs = map[chan []obs.Event]struct{}{}
+	return true
 }
 
 // completeFromCache marks the job done with a memoized result.
@@ -146,10 +178,18 @@ func (j *Job) Cancel() {
 
 // publish appends a progress snapshot and fans it out to subscribers
 // (dropping snapshots for subscribers whose buffer is full — streams are
-// best-effort, the history is authoritative).
-func (j *Job) publish(p stats.Progress) {
+// best-effort, the history is authoritative). It returns the number of
+// simulated cycles advanced since the previous snapshot, the delta the
+// server folds into its cumulative cycle counter; snapshots arriving out
+// of order (a stale worker's heartbeat racing a retry) contribute zero.
+func (j *Job) publish(p stats.Progress) uint64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	var delta uint64
+	if p.Cycle > j.lastCycle {
+		delta = p.Cycle - j.lastCycle
+		j.lastCycle = p.Cycle
+	}
 	if len(j.progress) >= maxProgressHistory {
 		j.progress = append(j.progress[:0], j.progress[len(j.progress)/2:]...)
 	}
@@ -160,6 +200,7 @@ func (j *Job) publish(p stats.Progress) {
 		default:
 		}
 	}
+	return delta
 }
 
 // publishTrace appends a drained batch of trace events to the history and

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"sort"
@@ -14,10 +15,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nord/internal/noc"
 	"nord/internal/obs"
 	"nord/internal/sim"
 	"nord/internal/stats"
 )
+
+// ErrJobDeadline is the cancellation cause attached to a job's context
+// when its wall-clock execution deadline expires. It lets the finaliser
+// distinguish "the client gave up" (canceled) from "the run blew its
+// budget" (failed) — both arrive as context cancellation through the sim
+// layer's polling.
+var ErrJobDeadline = errors.New("serve: job execution deadline exceeded")
 
 // retryAfterSeconds renders a backoff hint as whole seconds for the
 // Retry-After header, clamped to >= 1: a sub-second, zero or negative
@@ -29,6 +38,17 @@ func retryAfterSeconds(d time.Duration) int {
 		return 1
 	}
 	return secs
+}
+
+// retryAfterHint spreads the configured 429 backoff over [base, 1.5*base)
+// using random from [0, 1): a fixed hint herds every rejected client into
+// retrying at the same instant, reproducing the overload that caused the
+// rejection. Jitter decorrelates them.
+func retryAfterHint(base time.Duration, random float64) time.Duration {
+	if base <= 0 {
+		return base
+	}
+	return base + time.Duration(random*float64(base)/2)
 }
 
 // Config tunes a Server. The zero value selects sensible defaults.
@@ -54,6 +74,14 @@ type Config struct {
 	ProgressEvery int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// JobDeadline bounds one job's wall-clock execution (0 = unbounded).
+	// A run that exceeds it is failed — not canceled — so a runaway
+	// simulation cannot pin a worker forever.
+	JobDeadline time.Duration
+	// Dispatcher, when non-nil, builds the job dispatcher from the
+	// constructed server (e.g. a fleet coordinator wiring its execution
+	// callbacks); nil selects the in-process Scheduler.
+	Dispatcher func(*Server) Dispatcher
 }
 
 func (c *Config) fill() {
@@ -80,18 +108,21 @@ func (c *Config) fill() {
 	}
 }
 
-// Server is the simulation job service: scheduler, cache, metrics and
+// Server is the simulation job service: dispatcher, cache, metrics and
 // the HTTP API glue.
 type Server struct {
 	cfg     Config
 	metrics Metrics
 	cache   *Cache
-	sched   *Scheduler
+	disp    Dispatcher
 
 	mu    sync.Mutex
 	jobs  map[string]*Job // by client-facing ID
 	byKey map[string]*Job // live dedup index: queued/running/done jobs per cache key
 	seq   uint64
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // Retry-After jitter
 
 	draining atomic.Bool
 }
@@ -108,8 +139,13 @@ func New(cfg Config) (*Server, error) {
 		cache: cache,
 		jobs:  map[string]*Job{},
 		byKey: map[string]*Job{},
+		rng:   rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
-	s.sched = NewScheduler(cfg.Workers, cfg.QueueDepth, s.execute)
+	if cfg.Dispatcher != nil {
+		s.disp = cfg.Dispatcher(s)
+	} else {
+		s.disp = NewScheduler(cfg.Workers, cfg.QueueDepth, s.Exec)
+	}
 	return s, nil
 }
 
@@ -148,8 +184,8 @@ func (s *Server) BeginDrain() { s.draining.Store(true) }
 // a short grace period to unwind.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
-	s.sched.Close()
-	if err := s.sched.Wait(ctx); err == nil {
+	s.disp.Close()
+	if err := s.disp.Wait(ctx); err == nil {
 		return nil
 	}
 	s.mu.Lock()
@@ -159,7 +195,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	grace, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return s.sched.Wait(grace)
+	return s.disp.Wait(grace)
 }
 
 // submitResponse is the POST /v1/jobs body: flat so shell tooling can
@@ -211,13 +247,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j := s.newJobLocked(t)
-	if err := s.sched.Submit(j); err != nil {
+	if err := s.disp.Submit(j); err != nil {
 		delete(s.jobs, j.ID)
 		delete(s.byKey, j.Key)
 		s.mu.Unlock()
 		if errors.Is(err, ErrQueueFull) {
 			s.metrics.JobsRejected.Add(1)
-			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.RetryAfter)))
+			s.rngMu.Lock()
+			hint := retryAfterHint(s.cfg.RetryAfter, s.rng.Float64())
+			s.rngMu.Unlock()
+			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(hint)))
 			writeError(w, http.StatusTooManyRequests, "job queue full")
 			return
 		}
@@ -249,66 +288,146 @@ func (s *Server) dropKey(j *Job) {
 	}
 }
 
-// execute runs one job on a scheduler worker.
-func (s *Server) execute(j *Job) {
+// Exec runs one job in-process on the calling goroutine — the local
+// execution path used by the Scheduler's workers and by a fleet
+// coordinator's zero-worker fallback.
+func (s *Server) Exec(j *Job) {
 	if !j.markRunning() {
 		// Canceled while queued.
-		s.metrics.JobsCanceled.Add(1)
+		if j.finish(JobCanceled, nil, "canceled while queued") || j.State() == JobCanceled {
+			s.metrics.JobsCanceled.Add(1)
+		}
 		s.dropKey(j)
 		return
 	}
 	s.metrics.SimsExecuted.Add(1)
 	var (
-		lastCycle uint64
-		tracer    *obs.Tracer
-		traceBuf  []obs.Event
+		tracer   *obs.Tracer
+		traceBuf []obs.Event
 	)
 	opt := sim.RunOptions{
 		CheckEvery:    s.cfg.CheckEvery,
 		ProgressEvery: s.cfg.ProgressEvery,
 		Progress: func(p stats.Progress) {
-			if p.Cycle > lastCycle {
-				s.metrics.SimCycles.Add(p.Cycle - lastCycle)
-				lastCycle = p.Cycle
-			}
 			// The progress callback runs on the simulation goroutine, so
 			// draining the (single-goroutine) tracer here is race-free.
 			if tracer != nil {
 				traceBuf = tracer.DrainEvents(traceBuf[:0])
 				j.publishTrace(traceBuf)
 			}
-			j.publish(p)
+			s.PublishProgress(j, p)
 		},
 	}
 	if j.task.traced {
 		tracer = obs.New(obs.Config{})
 		opt.Tracer = tracer
 	}
-	payload, info, err := j.task.run(j.ctx, opt)
+	ctx := j.ctx
+	if s.cfg.JobDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, s.cfg.JobDeadline, ErrJobDeadline)
+		defer cancel()
+	}
+	payload, info, err := j.task.run(ctx, opt)
 	if tracer != nil {
 		traceBuf = tracer.DrainEvents(traceBuf[:0])
 		j.publishTrace(traceBuf)
 		j.setTraceTotals(tracer.Total(), tracer.Dropped())
 	}
-	if info != nil {
-		s.metrics.AddRun(info.design, info.wakeups, info.detours)
-	}
 	switch {
 	case err == nil:
-		if !j.task.traced {
-			s.cache.Put(j.Key, payload)
+		if j.finish(JobDone, payload, "") {
+			if !j.task.traced {
+				s.cache.Put(j.Key, payload)
+			}
+			s.metrics.JobsDone.Add(1)
+			if info != nil {
+				s.metrics.AddRun(info.design, info.wakeups, info.detours)
+			}
 		}
-		j.finish(JobDone, payload, "")
-		s.metrics.JobsDone.Add(1)
+	case errors.Is(err, ErrJobDeadline):
+		if j.finish(JobFailed, nil, err.Error()) {
+			s.metrics.JobsFailed.Add(1)
+		}
+		s.dropKey(j)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		j.finish(JobCanceled, nil, err.Error())
-		s.metrics.JobsCanceled.Add(1)
+		if j.finish(JobCanceled, nil, err.Error()) {
+			s.metrics.JobsCanceled.Add(1)
+		}
 		s.dropKey(j)
 	default:
-		j.finish(JobFailed, nil, err.Error())
-		s.metrics.JobsFailed.Add(1)
+		if j.finish(JobFailed, nil, err.Error()) {
+			s.metrics.JobsFailed.Add(1)
+		}
 		s.dropKey(j)
 	}
+}
+
+// RemoteOutcome is a worker-reported job result crossing the fleet wire.
+type RemoteOutcome struct {
+	// Payload is the marshalled sim result (nil unless the run succeeded).
+	Payload json.RawMessage `json:"payload,omitempty"`
+	// Error is the failure message for failed or canceled runs.
+	Error string `json:"error,omitempty"`
+	// Canceled marks client-requested cancellation (propagated through a
+	// heartbeat) as opposed to a run failure.
+	Canceled bool `json:"canceled,omitempty"`
+	// Meta carries the run's headline counters for the per-design metrics.
+	Meta *RunMeta `json:"meta,omitempty"`
+}
+
+// FinishRemote finalises a job with a worker-produced outcome: terminal
+// state, cache fill and metrics, mirroring the local Exec path. The
+// finish is exactly-once — a duplicate or late report of an
+// already-terminal job accounts nothing.
+func (s *Server) FinishRemote(j *Job, out RemoteOutcome) {
+	switch {
+	case out.Canceled:
+		if j.finish(JobCanceled, nil, out.Error) {
+			s.metrics.JobsCanceled.Add(1)
+		}
+		s.dropKey(j)
+	case out.Error != "":
+		if j.finish(JobFailed, nil, out.Error) {
+			s.metrics.JobsFailed.Add(1)
+		}
+		s.dropKey(j)
+	default:
+		if j.finish(JobDone, out.Payload, "") {
+			if !j.task.traced {
+				s.cache.Put(j.Key, out.Payload)
+			}
+			s.metrics.JobsDone.Add(1)
+			if out.Meta != nil {
+				if d, err := noc.DesignByName(out.Meta.Design); err == nil {
+					s.metrics.AddRun(d, out.Meta.Wakeups, out.Meta.Detours)
+				}
+			}
+		}
+	}
+}
+
+// PublishProgress forwards a job's progress snapshot to its /events
+// subscribers and folds the cycle delta into the cumulative counter.
+// Local runs call it from the sim goroutine; fleet coordinators call it
+// with snapshots carried on worker heartbeats.
+func (s *Server) PublishProgress(j *Job, p stats.Progress) {
+	if d := j.publish(p); d > 0 {
+		s.metrics.SimCycles.Add(d)
+	}
+}
+
+// CountExecution records one execution attempt (the fleet coordinator's
+// lease-grant counterpart of Exec's local accounting).
+func (s *Server) CountExecution() { s.metrics.SimsExecuted.Add(1) }
+
+// DropCanceled finalises a job the dispatcher discarded before execution
+// (canceled while queued in a fleet).
+func (s *Server) DropCanceled(j *Job) {
+	if j.finish(JobCanceled, nil, "canceled while queued") || j.State() == JobCanceled {
+		s.metrics.JobsCanceled.Add(1)
+	}
+	s.dropKey(j)
 }
 
 func (s *Server) lookup(id string) (*Job, bool) {
@@ -485,13 +604,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.WriteProm(w, Gauges{
-		QueueDepth:   s.sched.QueueDepth(),
-		Workers:      s.sched.Workers(),
-		BusyWorkers:  s.sched.Busy(),
+		QueueDepth:   s.disp.QueueDepth(),
+		Workers:      s.disp.Workers(),
+		BusyWorkers:  s.disp.Busy(),
 		CacheEntries: s.cache.Len(),
 		JobsQueued:   queued,
 		JobsRunning:  running,
 	})
+	if pw, ok := s.disp.(PromWriter); ok {
+		pw.WritePromTo(w)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -501,7 +623,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":  "ok",
-		"workers": s.sched.Workers(),
+		"workers": s.disp.Workers(),
 	})
 }
 

@@ -103,6 +103,33 @@ func resultInfo(r sim.Result) *runInfo {
 	return &runInfo{design: r.Design, wakeups: r.Wakeups, detours: r.Misroutes}
 }
 
+// RunMeta is runInfo in wire form: the headline counters a fleet worker
+// reports alongside its payload so the coordinator's per-design metrics
+// match what a local run would have recorded.
+type RunMeta struct {
+	Design  string `json:"design,omitempty"`
+	Wakeups uint64 `json:"wakeups,omitempty"`
+	Detours uint64 `json:"detours,omitempty"`
+}
+
+// ExecuteRequest resolves req and runs it on the calling goroutine — the
+// fleet worker's execution path. The returned payload is byte-identical
+// to what a local run of the same request would produce and cache
+// (results are deterministic and the marshalling is canonical), which is
+// what makes fleet-side retries and duplicate executions harmless.
+func ExecuteRequest(ctx context.Context, req *JobRequest, opt sim.RunOptions) ([]byte, *RunMeta, error) {
+	t, err := resolveSpec(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, info, err := t.run(ctx, opt)
+	var meta *RunMeta
+	if info != nil {
+		meta = &RunMeta{Design: info.design.String(), Wakeups: info.wakeups, Detours: info.detours}
+	}
+	return payload, meta, err
+}
+
 // task is a resolved, runnable job body: the content-address key of the
 // fully-filled config plus the closure that executes it and marshals the
 // result. traced marks jobs recording a cycle-level event trace: their
@@ -113,6 +140,7 @@ type task struct {
 	kind   string
 	key    string
 	traced bool
+	req    []byte // original JobRequest, re-marshalled: the fleet shipping unit
 	run    func(ctx context.Context, opt sim.RunOptions) ([]byte, *runInfo, error)
 }
 
@@ -128,6 +156,21 @@ func taskKey(kind string, traced bool, cfg any) (string, error) {
 // resolveTask validates a request and resolves it into a task. Errors are
 // client errors (HTTP 400).
 func resolveTask(req *JobRequest) (*task, error) {
+	t, err := resolveSpec(req)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the original request on the task: a fleet coordinator ships it
+	// verbatim to workers, which re-resolve it locally. (The marshal
+	// cannot fail: JobRequest is plain data that just decoded.)
+	t.req, err = json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func resolveSpec(req *JobRequest) (*task, error) {
 	switch req.Kind {
 	case "synthetic":
 		if req.Synthetic == nil {

@@ -62,13 +62,15 @@ func newRunObserver(ctx context.Context, opt RunOptions, net *noc.Network, total
 
 // observe polls the context every CheckEvery cycles and emits a progress
 // snapshot every ProgressEvery cycles. A cancellation is returned as an
-// error wrapping the context's (so errors.Is sees context.Canceled /
-// DeadlineExceeded).
+// error wrapping the context's cause (context.Cause falls back to
+// ctx.Err, so errors.Is still sees context.Canceled / DeadlineExceeded;
+// callers that cancel with a cause — e.g. a per-job execution deadline —
+// can distinguish it from a plain client cancel).
 func (o *runObserver) observe(phase string) error {
 	cyc := o.net.Cycle()
 	if cyc%uint64(o.opt.checkEvery()) == 0 {
-		if err := o.ctx.Err(); err != nil {
-			return fmt.Errorf("sim: run canceled at cycle %d: %w", cyc, err)
+		if o.ctx.Err() != nil {
+			return fmt.Errorf("sim: run canceled at cycle %d: %w", cyc, context.Cause(o.ctx))
 		}
 	}
 	o.maybeEmit(phase)

@@ -181,8 +181,8 @@ func ParallelSuiteCtx(ctx context.Context, scale float64, seed int64, progress f
 			defer wg.Done()
 			for ic := range ch {
 				i, c := ic.idx, ic.c
-				if err := ctx.Err(); err != nil {
-					errs[i] = err
+				if ctx.Err() != nil {
+					errs[i] = context.Cause(ctx)
 					continue
 				}
 				if progress != nil {

@@ -425,8 +425,8 @@ func RunWorkloadOpts(ctx context.Context, c WorkloadConfig, opt RunOptions) (Res
 	res.ExecTime = exec
 	res.L1HitRate = sys.L1HitRate()
 	if runErr != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			runErr = fmt.Errorf("sim: workload %q canceled at cycle %d: %w", c.Benchmark, net.Cycle(), ctxErr)
+		if ctx.Err() != nil {
+			runErr = fmt.Errorf("sim: workload %q canceled at cycle %d: %w", c.Benchmark, net.Cycle(), context.Cause(ctx))
 		}
 		res.Err = runErr.Error()
 		return res, runErr

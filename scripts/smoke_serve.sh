@@ -2,7 +2,10 @@
 # End-to-end smoke test for nordserved: boot the service on an ephemeral
 # port, submit a small 4x4 synthetic job, poll it to completion, resubmit
 # the identical request and assert a cache hit, sanity-check /metrics,
-# then drain the server with SIGTERM. Needs only sh + curl + grep/sed.
+# then drain the server with SIGTERM. A second phase boots a coordinator
+# with two fleet workers, kills one worker mid-job (SIGKILL, so no
+# graceful give-back) and asserts the lease expires, the job requeues,
+# and the surviving worker completes it. Needs only sh + curl + grep/sed.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -11,12 +14,17 @@ WORKDIR=$(mktemp -d)
 LOG="$WORKDIR/nordserved.log"
 BIN="$WORKDIR/nordserved"
 SRV_PID=""
+COORD_PID=""
+W1_PID=""
+W2_PID=""
 
 cleanup() {
-    if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
-        kill -TERM "$SRV_PID" 2>/dev/null || true
-        wait "$SRV_PID" 2>/dev/null || true
-    fi
+    for pid in "$SRV_PID" "$W1_PID" "$W2_PID" "$COORD_PID"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill -TERM "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$WORKDIR"
 }
 trap cleanup EXIT
@@ -113,5 +121,101 @@ echo "== draining with SIGTERM"
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" || fail "server exited non-zero on drain"
 SRV_PID=""
+
+# ---- fleet phase: coordinator + 2 workers, worker failure mid-job ----
+
+CLOG="$WORKDIR/coordinator.log"
+W1LOG="$WORKDIR/worker1.log"
+W2LOG="$WORKDIR/worker2.log"
+
+ffail() {
+    echo "SMOKE FAIL (fleet): $*" >&2
+    for f in "$CLOG" "$W1LOG" "$W2LOG"; do
+        echo "--- $f ---" >&2
+        cat "$f" >&2 2>/dev/null || true
+    done
+    exit 1
+}
+
+echo "== fleet: booting coordinator (1s lease TTL)"
+"$BIN" -mode coordinator -addr 127.0.0.1:0 -lease-ttl 1s \
+    -retry-base 100ms -retry-max 500ms -cache-dir "$WORKDIR/fleet-cache" \
+    >"$CLOG" 2>&1 &
+COORD_PID=$!
+
+CADDR=""
+for _ in $(seq 1 50); do
+    CADDR=$(sed -n 's/^nordserved listening on //p' "$CLOG")
+    [ -n "$CADDR" ] && break
+    kill -0 "$COORD_PID" 2>/dev/null || ffail "coordinator exited during startup"
+    sleep 0.1
+done
+[ -n "$CADDR" ] || ffail "no coordinator listen line"
+CBASE="http://$CADDR"
+echo "   coordinator on $CADDR"
+
+echo "== fleet: starting worker w1"
+"$BIN" -mode worker -coordinator "$CBASE" -worker-id w1 >"$W1LOG" 2>&1 &
+W1_PID=$!
+for _ in $(seq 1 50); do
+    grep -q 'registered with' "$W1LOG" && break
+    kill -0 "$W1_PID" 2>/dev/null || ffail "w1 exited during startup"
+    sleep 0.1
+done
+grep -q 'registered with' "$W1LOG" || ffail "w1 never registered"
+curl -fsS "$CBASE/metrics" | grep -q '^nord_fleet_workers_live 1$' \
+    || ffail "coordinator does not see w1 live"
+
+echo "== fleet: submitting a job sized to outlive its first worker"
+FLEET_JOB='{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"pattern":"uniform","rate":0.05,"warmup":1000,"measure":1500000,"seed":11}}'
+FSUB=$(curl -fsS "$CBASE/v1/jobs" -d "$FLEET_JOB")
+echo "   $FSUB"
+FID=$(echo "$FSUB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$FID" ] || ffail "no fleet job id in $FSUB"
+
+for _ in $(seq 1 100); do
+    FSTATE=$(curl -fsS "$CBASE/v1/jobs/$FID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    [ "$FSTATE" = running ] && break
+    case "$FSTATE" in done|failed|canceled) ffail "job finished ($FSTATE) before the kill could land" ;; esac
+    sleep 0.1
+done
+[ "$FSTATE" = running ] || ffail "job never started running on w1"
+
+echo "== fleet: SIGKILL w1 mid-job, starting replacement w2"
+kill -KILL "$W1_PID"
+wait "$W1_PID" 2>/dev/null || true
+W1_PID=""
+"$BIN" -mode worker -coordinator "$CBASE" -worker-id w2 >"$W2LOG" 2>&1 &
+W2_PID=$!
+
+echo "== fleet: waiting for lease expiry, requeue, and completion on w2"
+FSTATE=""
+for _ in $(seq 1 120); do
+    FSTATUS=$(curl -fsS "$CBASE/v1/jobs/$FID")
+    FSTATE=$(echo "$FSTATUS" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    case "$FSTATE" in
+        done) break ;;
+        failed|canceled) ffail "fleet job ended in $FSTATE: $FSTATUS" ;;
+    esac
+    sleep 0.5
+done
+[ "$FSTATE" = done ] || ffail "fleet job stuck in state '$FSTATE' after w1 died"
+
+FMETRICS=$(curl -fsS "$CBASE/metrics")
+echo "$FMETRICS" | grep -q '^nord_fleet_lease_expiries_total [1-9]' \
+    || ffail "no lease expiry recorded for the killed worker"
+echo "$FMETRICS" | grep -q '^nord_fleet_requeues_total [1-9]' \
+    || ffail "job was not requeued after the kill"
+echo "$FMETRICS" | grep -q '^nord_fleet_local_jobs_total 0$' \
+    || ffail "job fell back to local execution instead of failing over to w2"
+echo "   failover verified: lease expired, job requeued, w2 completed it"
+
+echo "== fleet: draining workers and coordinator"
+kill -TERM "$W2_PID"
+wait "$W2_PID" || ffail "w2 exited non-zero on drain"
+W2_PID=""
+kill -TERM "$COORD_PID"
+wait "$COORD_PID" || ffail "coordinator exited non-zero on drain"
+COORD_PID=""
 
 echo "SMOKE PASS"
