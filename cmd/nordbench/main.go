@@ -62,9 +62,10 @@ func main() {
 		quiet        = flag.Bool("quiet", false, "suppress progress output")
 		csvPath      = flag.String("csv", "", "also write the raw per-cell results to a CSV file")
 		parallel     = flag.Bool("parallel", true, "run suite cells concurrently")
-		kernel       = flag.Bool("kernel", false, "run the tick-kernel benchmark matrix (8x8 x designs x loads) and write a JSON report")
+		kernel       = flag.Bool("kernel", false, "run the tick-kernel benchmark matrix (8x8 x designs x loads, plus the NoRD parallel-scaling meshes) and write a JSON report")
 		kernelOut    = flag.String("kernel-out", "BENCH_kernel.json", "output path for the -kernel report")
-		kernelCycles = flag.Int("kernel-cycles", 50_000, "measured cycles per -kernel point")
+		kernelCycles = flag.Int("kernel-cycles", 50_000, "measured cycles per -kernel point (scaling meshes run proportionally fewer)")
+		cpus         = flag.Int("cpus", 0, "cap on the -kernel scaling matrix's shard counts (0 = full axis, 1 = serial only, negative = skip the scaling meshes)")
 		baseline     = flag.String("baseline", "", "committed BENCH_kernel.json to compare the -kernel run against")
 		tolerance    = flag.Float64("tolerance", 0.75, "fractional ns/cycle slowdown tolerated against -baseline (0.75 = +75%)")
 		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -105,7 +106,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "kernel bench %s\n", s)
 			}
 		}
-		rep, err := sim.KernelBench(*kernelCycles, *seed, progress)
+		rep, err := sim.KernelBenchP(*kernelCycles, *seed, *cpus, progress)
 		if err != nil {
 			fail(err)
 		}
@@ -119,10 +120,23 @@ func main() {
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Printf("%-14s %8s %14s %14s %12s\n", "design", "rate", "ns/cycle", "cycles/sec", "allocs/cyc")
+		fmt.Printf("%-14s %8s %8s %4s %14s %14s %12s %8s\n",
+			"design", "rate", "mesh", "P", "ns/cycle", "cycles/sec", "allocs/cyc", "speedup")
 		for _, p := range rep.Points {
-			fmt.Printf("%-14s %8.2f %14.1f %14.0f %12.4f\n",
-				p.Design, p.Rate, p.NsPerCycle, p.CyclesPerSec, p.AllocsPerCycle)
+			w := p.Width
+			if w == 0 {
+				w = 8
+			}
+			par := p.Parallelism
+			if par == 0 {
+				par = 1
+			}
+			speedup := "-"
+			if p.SpeedupVsSerial > 0 {
+				speedup = fmt.Sprintf("%.2fx", p.SpeedupVsSerial)
+			}
+			fmt.Printf("%-14s %8.2f %7dx%-4d %2d %12.1f %14.0f %12.4f %8s\n",
+				p.Design, p.Rate, w, w, par, p.NsPerCycle, p.CyclesPerSec, p.AllocsPerCycle, speedup)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *kernelOut)
 		failed := false

@@ -105,6 +105,7 @@ func main() {
 		printConfig = flag.Bool("print-config", false, "print the Table 1 default configuration and exit")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		cpus        = flag.Int("cpus", 0, "tick-kernel shard count (0 or 1 = serial; results are bit-identical at any value)")
 	)
 	flag.Parse()
 
@@ -189,6 +190,10 @@ func main() {
 		return
 	}
 	var opt sim.RunOptions
+	if *cpus < 0 {
+		fail(fmt.Errorf("cpus must be non-negative, got %d", *cpus))
+	}
+	opt.Parallelism = *cpus
 	if *tracePath != "" {
 		opt.Tracer = obs.New(obs.Config{SampleEvery: *traceSample})
 	}

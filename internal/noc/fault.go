@@ -48,13 +48,6 @@ func (o *FaultOptions) fill(p *Params) {
 	}
 }
 
-// linkKey identifies one unidirectional mesh link by its source router
-// and output direction.
-type linkKey struct {
-	router int
-	dir    topology.Dir
-}
-
 // retryEntry is one pending end-to-end retransmission.
 type retryEntry struct {
 	pkt *flit.Packet
@@ -68,7 +61,12 @@ type faultInjector struct {
 	next   int
 	opts   FaultOptions
 	report fault.Report
-	armed  map[linkKey]int
+	// armed counts pending link corruptions per unidirectional link,
+	// indexed router*NumDirs+dir. A flat slice (not a map) so shard
+	// workers can decrement their own routers' entries concurrently:
+	// distinct links are distinct elements, and only the owning shard
+	// touches a link's entry inside a parallel phase.
+	armed  []int32
 	retryQ []retryEntry
 	failed []int // activated hard-fail router IDs
 }
@@ -83,7 +81,7 @@ func (n *Network) AttachFaults(s *fault.Schedule, opts FaultOptions) error {
 	fi := &faultInjector{
 		events: append([]fault.Event(nil), s.Events...),
 		opts:   opts,
-		armed:  map[linkKey]int{},
+		armed:  make([]int32, n.nn*int(topology.NumDirs)),
 	}
 	for _, e := range fi.events {
 		if !n.mesh.Valid(e.Router) {
@@ -151,7 +149,7 @@ func (fi *faultInjector) apply(n *Network, e fault.Event) {
 				}
 			}
 		}
-		fi.armed[linkKey{router: e.Router, dir: d}]++
+		fi.armed[e.Router*int(topology.NumDirs)+int(d)]++
 	case fault.DropWakeup:
 		r.dropWakeups++
 	case fault.StuckOff:
@@ -259,33 +257,36 @@ func (r *Router) faultBlocksWake() bool {
 	return false
 }
 
-// maybeCorrupt fires an armed link fault on a departing flit.
-func (fi *faultInjector) maybeCorrupt(n *Network, id int, dir topology.Dir, f *flit.Flit) {
-	k := linkKey{router: id, dir: dir}
+// maybeCorrupt fires an armed link fault on a departing flit. It runs
+// inside parallel phases, so it only touches the calling shard's
+// accumulators and this link's own armed counter; the report totals are
+// folded from the shard deltas at the end of the cycle.
+func (fi *faultInjector) maybeCorrupt(sh *shard, id int, dir topology.Dir, f *flit.Flit) {
+	k := id*int(topology.NumDirs) + int(dir)
 	if fi.armed[k] == 0 {
 		return
 	}
 	fi.armed[k]--
-	if fi.armed[k] == 0 {
-		delete(fi.armed, k)
-	}
 	f.Corrupt()
-	fi.report.Triggered[fault.CorruptLink]++
-	fi.report.FlitsCorrupted++
-	n.col.CorruptFlits++
+	sh.repCorrupt++
+	sh.col.CorruptFlits++
 }
 
 // verify checks a delivered flit's checksum, poisoning the packet on
 // mismatch. The poisoned packet keeps traversing so wormhole and credit
 // state stay consistent; its destination NI drops it and the source
-// retransmits (end-to-end recovery).
-func (fi *faultInjector) verify(n *Network, f *flit.Flit) {
-	if f.Packet.Poisoned || f.ChecksumOK() {
+// retransmits (end-to-end recovery). Poison is a compare-and-swap so
+// that when two corrupted flits of the same packet arrive the same cycle
+// in different shards, exactly one shard counts the poisoning.
+func (fi *faultInjector) verify(n *Network, sh *shard, f *flit.Flit) {
+	if f.Packet.IsPoisoned() || f.ChecksumOK() {
 		return
 	}
-	f.Packet.Poisoned = true
-	fi.report.PacketsPoisoned++
-	n.col.PoisonedPackets++
+	if !f.Packet.Poison() {
+		return
+	}
+	sh.repPoisoned++
+	sh.col.PoisonedPackets++
 }
 
 // dropPoisoned handles a poisoned packet reaching its destination:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"nord/internal/fault"
 	"nord/internal/flit"
@@ -55,11 +56,9 @@ type Network struct {
 	// always -1 for the Local pseudo-direction).
 	nbrTab []int32
 
-	pendingCredits []creditEvt
-	inFlight       int
-	lastProgress   uint64
-	progressed     bool
-	nextPktID      uint64
+	inFlight     int
+	lastProgress uint64
+	nextPktID    uint64
 
 	// faults is the attached fault injector (nil when no schedule is
 	// armed); err latches the first structured error — once set, every
@@ -72,10 +71,20 @@ type Network struct {
 	// the steady-state tick path stays allocation-free.
 	tracer *obs.Tracer
 
-	// candScratch is reused by route computation to avoid per-decision
-	// allocations (the network is single-threaded; each decision is
-	// consumed before the next route call).
-	candScratch []cand
+	// Sharded parallel kernel state (shard.go). shards always holds at
+	// least one shard: the serial kernel is the single-shard special
+	// case, running the same sections inline. shardOf maps node id to
+	// owning shard index; sharded is len(shards) > 1; par is the lazily
+	// spawned worker fleet; evScratch/dropScratch are the merge-time
+	// replay buffers; poolPtrs collects the per-shard flit pools for
+	// periodic leveling.
+	shards      []*shard
+	shardOf     []int32
+	sharded     bool
+	par         *parKernel
+	evScratch   []defEvent
+	dropScratch []pendingDrop
+	poolPtrs    []*flit.Pool
 
 	// Event-sparse kernel state. activeMask is a bitset of the nodes that
 	// must be ticked; a node leaves the set when nodeNeedsTick turns false
@@ -96,10 +105,6 @@ type Network struct {
 	// linkCount[id] counts flits in flight on node id's output links, so
 	// link delivery can skip nodes whose channels are idle.
 	linkCount []int
-
-	// pool recycles packet and flit objects so the steady-state tick path
-	// allocates nothing.
-	pool flit.Pool
 
 	// minDirs/xyDirs are the precomputed routing tables, indexed
 	// src*nn+dst (nil beyond routeTableMaxNodes; directions are then
@@ -154,6 +159,35 @@ func New(p Params) (*Network, error) {
 	}
 	n.setAllActive()
 	n.buildRouteTables()
+	// Spatial domain decomposition: P contiguous shards of node IDs (the
+	// serial kernel is the P=1 case of the same machinery). Shards must
+	// exist before router/NI construction, which binds each node to its
+	// owner.
+	P := p.Parallelism
+	if P < 1 {
+		P = 1
+	}
+	if P > n.nn {
+		P = n.nn
+	}
+	n.shards = make([]*shard, P)
+	n.shardOf = make([]int32, n.nn)
+	n.poolPtrs = make([]*flit.Pool, P)
+	for i := 0; i < P; i++ {
+		sh := &shard{
+			idx: i,
+			lo:  i * n.nn / P,
+			hi:  (i + 1) * n.nn / P,
+			col: stats.NewNoC(p.MaxIdlePeriod),
+		}
+		sh.ids = make([]int, 0, sh.hi-sh.lo)
+		n.shards[i] = sh
+		n.poolPtrs[i] = &sh.pool
+		for id := sh.lo; id < sh.hi; id++ {
+			n.shardOf[id] = int32(i)
+		}
+	}
+	n.sharded = P > 1
 	// Routers and NIs live in two contiguous arrays: the per-cycle loops
 	// walk them in index order, so locality matters more than it would for
 	// individually boxed objects.
@@ -207,6 +241,7 @@ func (n *Network) Cycle() uint64 { return n.cycle }
 // series samples cumulative counters mid-run).
 func (n *Network) Collector() *stats.NoC {
 	n.syncStats()
+	n.foldStats()
 	return n.col
 }
 
@@ -236,6 +271,7 @@ func (n *Network) BeginMeasurement() {
 	// Consume the dormant stretches accumulated during warmup against the
 	// pre-measurement interval, so the measured window starts clean.
 	n.syncStats()
+	n.foldStats()
 	n.collecting = true
 	n.measureFrom = n.cycle
 }
@@ -243,6 +279,7 @@ func (n *Network) BeginMeasurement() {
 // FinishMeasurement flushes per-router trackers into the collector.
 func (n *Network) FinishMeasurement() {
 	n.syncStats()
+	n.foldStats()
 	for _, it := range n.idle {
 		it.Flush()
 		n.col.IdlePeriods.Merge(it.Periods())
@@ -255,7 +292,11 @@ func (n *Network) FinishMeasurement() {
 // from the network's recycling pool.
 func (n *Network) NewPacket(src, dst int, class flit.Class, length int) *flit.Packet {
 	n.nextPktID++
-	p := n.pool.Packet()
+	pool := &n.shards[0].pool
+	if src >= 0 && src < n.nn {
+		pool = &n.shardFor(src).pool
+	}
+	p := pool.Packet()
 	p.ID = n.nextPktID
 	p.Src = src
 	p.Dst = dst
@@ -334,50 +375,46 @@ func (n *Network) Step() error {
 		return n.err
 	}
 	n.cycle++
-	n.progressed = false
 
 	// 0. Fault injection: due events, hard-fail activation, retransmits.
+	// Serial: the injector pokes arbitrary routers.
 	if n.faults != nil {
 		n.faults.tick(n)
 	}
-	// Each phase walks a fresh snapshot of the active worklist: a node
-	// activated mid-cycle (flit delivery, wakeup assertion, injection)
-	// joins the remaining phases of the same cycle — exactly the phases
-	// that could observe it in a full scan, since a dormant node's earlier
-	// phases are no-ops by construction (empty datapath, empty queues,
-	// settled power state).
-	// 1. Link traversal completion: deliver flits whose LT finished.
-	for _, id := range n.collectActive() {
-		if n.linkCount[id] > 0 {
-			n.deliverNodeLinks(id)
-		}
+	if n.sharded && n.par == nil && n.ejectHandler == nil {
+		n.spawnWorkers()
 	}
+	// Each parallel section walks a fresh snapshot of its shard's active
+	// worklist: a node activated mid-cycle (flit delivery, wakeup
+	// assertion, injection) joins the remaining phases of the same cycle
+	// — exactly the phases that could observe it in a full scan, since a
+	// dormant node's earlier phases are no-ops by construction (empty
+	// datapath, empty queues, settled power state). Cross-shard effects
+	// are deferred into per-shard buffers and committed at the merge
+	// points between sections, in the serial kernel's order.
+	// 1. Link traversal completion: deliver flits whose LT finished.
+	n.runPhase(secLinks)
+	n.mergeLinks()
 	// 2-4. NI wire deliveries, router ST, NI pipelines — fused into one
 	// pass per node. Safe because within these three phases no node reads
-	// state another node writes the same cycle (ST and the NI engines emit
-	// onto links with >= 1 cycle of delay; the only cross-node write, the
-	// ring-upstream credit restore in tickBypass, is read back only by SA
-	// and later phases, which still run after every NI has ticked), and
-	// none of the three activates new nodes, so the snapshot is stable.
-	for _, id := range n.collectActive() {
-		ni := n.nis[id]
-		ni.tickDeliver()
-		n.routers[id].tickST()
-		ni.tick()
-	}
-	// 5-7. Router SA, VA, RC (reverse pipeline order so a flit advances at
-	// most one stage per cycle), likewise fused: these stages touch only
-	// their own router's datapath (credit returns are deferred to phase 9)
-	// and the nodes they activate — wakeup targets — are dormant, with
-	// empty pipelines, so skipping their SA/VA/RC this cycle matches the
-	// full scan's no-ops.
-	for _, id := range n.collectActive() {
-		r := n.routers[id]
-		r.tickSA()
-		r.tickVA()
-		r.tickRC()
-	}
-	// 8. Power-gating controllers.
+	// state another node writes the same cycle (ST and the NI engines
+	// emit onto links with >= 1 cycle of delay; the one cross-node write
+	// of the serial kernel, the ring-upstream credit restore, is hoisted
+	// to the merge), and none of the three activates new nodes, so the
+	// snapshot is stable.
+	n.runPhase(secNode)
+	n.mergeNode()
+	// 5-7. Router SA, VA, RC (reverse pipeline order so a flit advances
+	// at most one stage per cycle), likewise fused: these stages touch
+	// only their own router's datapath (credit returns are deferred to
+	// phase 9) and the nodes they activate — wakeup targets — are
+	// dormant, with empty pipelines, so deferring their activation to the
+	// merge matches the full scan's no-ops.
+	n.runPhase(secRouter)
+	n.mergeRouter()
+	// 8. Power-gating controllers. Serial: gate-off and wake transitions
+	// write neighbor pipeline and credit state across shard boundaries,
+	// and the wakeup conditions read neighbor pipelines.
 	for _, id := range n.collectActive() {
 		r := n.routers[id]
 		r.saGrantsLastCycle = r.saGrantsThisCycle
@@ -388,13 +425,21 @@ func (n *Network) Step() error {
 	if n.p.Design == NoRD && n.p.DynamicClassify && n.cycle%uint64(n.p.ReclassifyPeriod) == 0 {
 		n.reclassify()
 	}
-	// 9. Credit propagation.
-	for _, ev := range n.pendingCredits {
-		n.applyCredit(ev)
+	// 9. Credit propagation, in (shard, emission) order. Credit grants
+	// are commutative increments, so the folded order is equivalent to
+	// the serial kernel's chronological order.
+	for _, sh := range n.shards {
+		for _, ev := range sh.credits {
+			n.applyCredit(ev)
+		}
+		sh.credits = sh.credits[:0]
 	}
-	n.pendingCredits = n.pendingCredits[:0]
-	// 10. Statistics and the deadlock watchdog.
-	n.tickStats()
+	// 10-11. Per-node accounting and the deactivation sweep.
+	n.runPhase(secStats)
+	if n.collecting {
+		n.col.Cycles++
+	}
+	n.statEpoch = n.cycle
 	if n.tracer != nil {
 		if row := n.tracer.ResidencyRow(n.cycle); row != nil {
 			for id, r := range n.routers {
@@ -406,7 +451,23 @@ func (n *Network) Step() error {
 			}
 		}
 	}
-	if n.progressed {
+	// Epilogue: fold the per-shard per-cycle accumulators, then run the
+	// deadlock watchdog against the folded progress flag.
+	progressed := false
+	for _, sh := range n.shards {
+		progressed = progressed || sh.progressed
+		sh.progressed = false
+		n.inFlight += sh.inFlightDelta
+		sh.inFlightDelta = 0
+		if n.faults != nil {
+			n.faults.report.Triggered[fault.CorruptLink] += int(sh.repCorrupt)
+			n.faults.report.FlitsCorrupted += sh.repCorrupt
+			n.faults.report.PacketsPoisoned += sh.repPoisoned
+			n.faults.report.PacketsDelivered += sh.repDelivered
+			sh.repCorrupt, sh.repPoisoned, sh.repDelivered = 0, 0, 0
+		}
+	}
+	if progressed {
 		n.lastProgress = n.cycle
 	} else if n.inFlight > 0 && n.cycle-n.lastProgress > n.watchdogLimit() {
 		n.fail(&fault.DeadlockError{
@@ -418,15 +479,11 @@ func (n *Network) Step() error {
 			FailedRouters: n.HardFailedRouters(),
 		})
 	}
-	// 11. Deactivation sweep: nodes with no remaining work leave the
-	// worklist; activate() restores them (back-filling their per-cycle
-	// accounting) when an event touches them again.
-	if n.sparse {
-		for _, id := range n.collectActive() {
-			if !n.nodeNeedsTick(id) {
-				n.activeMask[id>>6] &^= uint64(1) << (uint(id) & 63)
-			}
-		}
+	// Packets born in one shard are often recycled in another: level the
+	// per-shard free-lists periodically so a sink-heavy shard's pool does
+	// not grow while a source-heavy one allocates. No-op when serial.
+	if n.sharded && n.cycle&4095 == 0 {
+		flit.Level(n.poolPtrs)
 	}
 	return n.err
 }
@@ -434,19 +491,21 @@ func (n *Network) Step() error {
 // setAllActive marks every node active (full-scan mode, initialisation).
 func (n *Network) setAllActive() {
 	for w := range n.activeMask {
-		n.activeMask[w] = ^uint64(0)
+		atomic.StoreUint64(&n.activeMask[w], ^uint64(0))
 	}
 	if r := uint(n.nn) & 63; r != 0 {
-		n.activeMask[len(n.activeMask)-1] = (uint64(1) << r) - 1
+		atomic.StoreUint64(&n.activeMask[len(n.activeMask)-1], (uint64(1)<<r)-1)
 	}
 }
 
-// collectActive snapshots the active worklist into a reusable scratch
-// slice, in ascending node order — the same iteration order as the
-// original full scan, so arbitration and statistics stay bit-identical.
+// collectActive snapshots the whole active worklist into a reusable
+// scratch slice, in ascending node order — the same iteration order as
+// the original full scan, so arbitration and statistics stay
+// bit-identical. Serial phases only; sections use shardActive.
 func (n *Network) collectActive() []int {
 	ids := n.idScratch[:0]
-	for w, word := range n.activeMask {
+	for w := range n.activeMask {
+		word := atomic.LoadUint64(&n.activeMask[w])
 		base := w << 6
 		for word != 0 {
 			ids = append(ids, base+bits.TrailingZeros64(word))
@@ -461,14 +520,17 @@ func (n *Network) collectActive() []int {
 // per-cycle accounting it skipped while dormant (during which, by the
 // deactivation invariant, its datapath was empty, its power state
 // constant and its demand window zero). Call it before the triggering
-// event mutates any of that state.
+// event mutates any of that state. Inside a parallel section it may only
+// be called for shard-local nodes (cross-shard wakes go through
+// activateFrom); the bit operations are atomic because boundary words of
+// the mask are shared between adjacent shards.
 func (n *Network) activate(id int) {
 	w := uint(id) >> 6
 	bit := uint64(1) << (uint(id) & 63)
-	if n.activeMask[w]&bit != 0 {
+	if atomic.LoadUint64(&n.activeMask[w])&bit != 0 {
 		return
 	}
-	n.activeMask[w] |= bit
+	atomic.OrUint64(&n.activeMask[w], bit)
 	n.flushNode(id)
 }
 
@@ -497,14 +559,15 @@ func (n *Network) flushNode(id int) {
 	}
 	r := n.routers[id]
 	n.idle[id].RecordRun(r.busy(), gap)
+	col := n.shardFor(id).col
 	switch r.state {
 	case powerOn:
-		n.col.RouterOnCycles += gap
+		col.RouterOnCycles += gap
 	case powerOff:
-		n.col.RouterOffCycles += gap
+		col.RouterOffCycles += gap
 		r.statOffCycles += gap
 	case powerWaking:
-		n.col.RouterWakingCycles += gap
+		col.RouterWakingCycles += gap
 	}
 }
 
@@ -714,13 +777,18 @@ func (n *Network) collectInFlightDump(limit int) []fault.PacketDump {
 	return out
 }
 
-// deliverNodeLinks completes link traversal for node id's due flits.
-func (n *Network) deliverNodeLinks(id int) {
+// deliverNodeLinks completes link traversal for node id's due flits,
+// executing on id's owning shard. Deliveries whose target lives in
+// another shard are deferred to the links merge, keyed by (source, port,
+// queue position) so the commit order is the serial kernel's.
+func (n *Network) deliverNodeLinks(sh *shard, id int) {
 	for d := 0; d < 4; d++ {
 		q := n.links[id][d]
 		if len(q) == 0 {
 			continue
 		}
+		base := (uint64(id)*4 + uint64(d)) << 32
+		qidx := uint64(0)
 		keep := q[:0]
 		for _, tf := range q {
 			if tf.at > n.cycle {
@@ -728,6 +796,14 @@ func (n *Network) deliverNodeLinks(id int) {
 				continue
 			}
 			n.linkCount[id]--
+			key := base | qidx<<16
+			qidx++
+			to := n.nbrTab[id*int(topology.NumDirs)+d]
+			if to >= 0 && n.shardOf[to] != int32(sh.idx) {
+				sh.xout = append(sh.xout, xDeliver{key: key, from: int32(id), dir: int8(d), f: tf.f})
+				continue
+			}
+			sh.evBase, sh.evSeq = key, 0
 			n.deliverFlit(id, topology.Dir(d), tf.f)
 		}
 		n.links[id][d] = keep
@@ -736,18 +812,22 @@ func (n *Network) deliverNodeLinks(id int) {
 
 // deliverFlit hands a flit that left router `from` on port `dir` to the
 // downstream router or, when that router is gated off (or the flit's
-// packet is mid-bypass), to its NI bypass.
+// packet is mid-bypass), to its NI bypass. It runs either on the
+// target's owning shard (in-shard deliveries) or serially at the links
+// merge (cross-shard), so every write it triggers lands in the target
+// shard's state.
 func (n *Network) deliverFlit(from int, dir topology.Dir, f *flit.Flit) {
 	to, ok := n.neighbor(from, dir)
 	if !ok {
-		n.fail(&fault.ProtocolError{Cycle: n.cycle, Router: from,
+		n.failSh(n.shardFor(from), &fault.ProtocolError{Cycle: n.cycle, Router: from,
 			Msg: fmt.Sprintf("flit sent off the edge of the mesh on dir %v", dir)})
 		return
 	}
+	sh := n.shardFor(to)
 	n.activate(to)
-	n.progressed = true
+	sh.progressed = true
 	if n.faults != nil {
-		n.faults.verify(n, f)
+		n.faults.verify(n, sh, f)
 	}
 	r := n.routers[to]
 	inPort := dir.Opposite()
@@ -758,7 +838,7 @@ func (n *Network) deliverFlit(from int, dir topology.Dir, f *flit.Flit) {
 		}
 	}
 	if !r.on() {
-		n.fail(&fault.ProtocolError{Cycle: n.cycle, Router: to,
+		n.failSh(sh, &fault.ProtocolError{Cycle: n.cycle, Router: to,
 			Msg: fmt.Sprintf("flit delivered to gated-off router on non-bypass port %v", inPort)})
 		return
 	}
@@ -779,18 +859,19 @@ func (n *Network) sendLink(id int, dir topology.Dir, f *flit.Flit) {
 // aggressive bypass uses delay 1 (no ST stage: the flit goes straight
 // from Bypass Inport to Bypass Outport within the arrival cycle).
 func (n *Network) sendLinkDelay(id int, dir topology.Dir, f *flit.Flit, delay uint64) {
+	sh := n.shardFor(id)
 	if dir >= topology.Local {
-		n.fail(&fault.ProtocolError{Cycle: n.cycle, Router: id, Msg: "sendLink on local port"})
+		n.failSh(sh, &fault.ProtocolError{Cycle: n.cycle, Router: id, Msg: "sendLink on local port"})
 		return
 	}
 	if n.faults != nil {
-		n.faults.maybeCorrupt(n, id, dir, f)
+		n.faults.maybeCorrupt(sh, id, dir, f)
 	}
 	n.links[id][dir] = append(n.links[id][dir], timedFlit{f: f, at: n.cycle + delay})
 	n.linkCount[id]++
-	n.progressed = true
+	sh.progressed = true
 	if n.collecting {
-		n.col.LinkTraversals++
+		sh.col.LinkTraversals++
 	}
 }
 
@@ -806,9 +887,10 @@ func (n *Network) linkBusy(id int, dir topology.Dir) bool {
 }
 
 // creditReturn schedules a credit for the upstream of router id's input
-// (port, vc): the mesh neighbor for mesh ports, the NI for the Local port.
-func (n *Network) creditReturn(id int, port topology.Dir, vc int) {
-	n.pendingCredits = append(n.pendingCredits, creditEvt{router: id, port: port, vc: vc})
+// (port, vc): the mesh neighbor for mesh ports, the NI for the Local
+// port. Credits accumulate per shard and apply at phase 9, serially.
+func (n *Network) creditReturn(sh *shard, id int, port topology.Dir, vc int) {
+	sh.credits = append(sh.credits, creditEvt{router: id, port: port, vc: vc})
 }
 
 func (n *Network) applyCredit(ev creditEvt) {
@@ -831,26 +913,32 @@ func (n *Network) addRingUpstreamCredits(id, vc, add int) {
 	n.routers[pred].outCredits[n.ring.OutDir(pred)][vc] += add
 }
 
-// deliverPacket finalises a delivered packet (tail ejected). Poisoned
-// packets are dropped here — the destination NI rejects the corrupted
-// payload and the source's retransmit machinery takes over.
-func (n *Network) deliverPacket(p *flit.Packet) {
-	n.inFlight--
-	n.progressed = true
-	if p.Poisoned && n.faults != nil {
-		n.faults.dropPoisoned(n, p)
+// deliverPacket finalises a delivered packet (tail ejected), on the
+// destination's owning shard. Poisoned packets are dropped — the
+// destination NI rejects the corrupted payload and the source's
+// retransmit machinery takes over; the drop mutates injector-global
+// state, so a sharded kernel defers it to the next merge.
+func (n *Network) deliverPacket(sh *shard, p *flit.Packet) {
+	sh.inFlightDelta--
+	sh.progressed = true
+	if p.IsPoisoned() && n.faults != nil {
+		if n.sharded {
+			sh.drops = append(sh.drops, pendingDrop{key: sh.nextEvKey(), pkt: p})
+		} else {
+			n.faults.dropPoisoned(n, p)
+		}
 		return
 	}
 	if n.faults != nil {
-		n.faults.report.PacketsDelivered++
+		sh.repDelivered++
 	}
 	if n.collecting && p.InjectTime >= n.measureFrom {
-		n.col.PacketsDelivered++
-		n.col.FlitsDelivered += uint64(p.Length)
-		n.col.PacketLatency.Add(float64(n.cycle - p.InjectTime))
-		n.col.LatencyHist.Add(n.cycle - p.InjectTime)
-		n.col.NetworkLatency.Add(float64(n.cycle - p.EnqueueTime))
-		n.col.Hops.Add(float64(p.Hops))
+		sh.col.PacketsDelivered++
+		sh.col.FlitsDelivered += uint64(p.Length)
+		sh.col.PacketLatency.Add(float64(n.cycle - p.InjectTime))
+		sh.col.LatencyHist.Add(n.cycle - p.InjectTime)
+		sh.col.NetworkLatency.Add(float64(n.cycle - p.EnqueueTime))
+		sh.col.Hops.Add(float64(p.Hops))
 	}
 	if n.ejectHandler != nil {
 		n.ejectHandler(p, n.cycle)
@@ -858,42 +946,8 @@ func (n *Network) deliverPacket(p *flit.Packet) {
 		// Nothing outside the network can retain the packet (handlers and
 		// hooks may hold delivered packets; the fault machinery's retry
 		// queue does): recycle it.
-		n.pool.PutPacket(p)
+		sh.pool.PutPacket(p)
 	}
-}
-
-// tickStats runs the end-of-cycle per-node accounting for active nodes:
-// the NI quiet-run catch-up for nodes activated after the NI phase,
-// idle/power statistics, and the lastTicked stamp that lets activate()
-// back-fill dormant stretches exactly.
-func (n *Network) tickStats() {
-	for _, id := range n.collectActive() {
-		ni := n.nis[id]
-		if ni.lastTick != n.cycle {
-			// Activated after phase 4: the NI tick it missed would have
-			// pushed 0 into an all-zero demand window, which reduces to
-			// the quiet-run increment.
-			ni.quietRun++
-		}
-		n.lastTicked[id] = n.cycle
-		if n.collecting {
-			r := n.routers[id]
-			n.idle[id].Record(r.busy())
-			switch r.state {
-			case powerOn:
-				n.col.RouterOnCycles++
-			case powerOff:
-				n.col.RouterOffCycles++
-				r.statOffCycles++
-			case powerWaking:
-				n.col.RouterWakingCycles++
-			}
-		}
-	}
-	if n.collecting {
-		n.col.Cycles++
-	}
-	n.statEpoch = n.cycle
 }
 
 // Statistic note helpers, gated on measurement.
@@ -909,33 +963,38 @@ func (n *Network) notePacketInjected(p *flit.Packet) {
 	}
 }
 
-func (n *Network) noteSAGrant(inPort topology.Dir) {
-	n.progressed = true
+// The helpers below run inside parallel sections (or at serial merge
+// points), so they take the executing shard and write its collector;
+// noteWakeup and noteGateOff are called only from the serial controller
+// phase and keep writing the master directly.
+
+func (n *Network) noteSAGrant(sh *shard, inPort topology.Dir) {
+	sh.progressed = true
 	if !n.collecting {
 		return
 	}
-	n.col.BufReads++
-	n.col.XbarTraversals++
-	n.col.SAArbs++
-	n.col.ClockedFlitHops++
+	sh.col.BufReads++
+	sh.col.XbarTraversals++
+	sh.col.SAArbs++
+	sh.col.ClockedFlitHops++
 	_ = inPort
 }
 
-func (n *Network) noteVCRequests(r uint32) {
+func (n *Network) noteVCRequests(sh *shard, r uint32) {
 	if n.collecting {
-		n.col.NIVCRequests += uint64(r)
+		sh.col.NIVCRequests += uint64(r)
 	}
 }
 
-func (n *Network) noteVAGrant() {
+func (n *Network) noteVAGrant(sh *shard) {
 	if n.collecting {
-		n.col.VAArbs++
+		sh.col.VAArbs++
 	}
 }
 
-func (n *Network) noteBufWrite() {
+func (n *Network) noteBufWrite(sh *shard) {
 	if n.collecting {
-		n.col.BufWrites++
+		sh.col.BufWrites++
 	}
 }
 
@@ -951,51 +1010,53 @@ func (n *Network) noteGateOff() {
 	}
 }
 
-func (n *Network) noteWakeStall(cycles uint64) {
+func (n *Network) noteWakeStall(sh *shard, cycles uint64) {
 	if n.collecting {
-		n.col.WakeupStall.Add(float64(cycles))
+		sh.col.WakeupStall.Add(float64(cycles))
 	}
 }
 
-func (n *Network) noteMisroute(router int) {
+func (n *Network) noteMisroute(sh *shard, router int) {
 	if n.collecting {
-		n.col.MisroutedHops++
+		sh.col.MisroutedHops++
 	}
 	if n.tracer != nil {
-		n.tracer.Emit(n.cycle, int32(router), obs.KindDetour, obs.CauseNone, 0)
+		n.traceEvent(sh, int32(router), obs.KindDetour, obs.CauseNone, 0, false)
 	}
 }
 
-func (n *Network) noteEscape(router int) {
+func (n *Network) noteEscape(sh *shard, router int) {
 	if n.collecting {
-		n.col.EscapedPackets++
+		sh.col.EscapedPackets++
 	}
 	if n.tracer != nil {
-		n.tracer.Emit(n.cycle, int32(router), obs.KindEscape, obs.CauseNone, 0)
+		n.traceEvent(sh, int32(router), obs.KindEscape, obs.CauseNone, 0, false)
 	}
 }
 
-func (n *Network) noteBypassHop(router int) {
-	n.progressed = true
+func (n *Network) noteBypassHop(sh *shard, router int) {
+	sh.progressed = true
 	if n.collecting {
-		n.col.BypassHops++
+		sh.col.BypassHops++
 	}
 	if n.tracer != nil {
-		n.tracer.EmitSampled(n.cycle, int32(router), obs.KindBypassHop, obs.CauseNone, 0)
+		// Every offered hop is deferred (sampled=true) so the tracer's
+		// order-sensitive sampling counter replays the serial subset.
+		n.traceEvent(sh, int32(router), obs.KindBypassHop, obs.CauseNone, 0, true)
 	}
 }
 
-func (n *Network) noteBypassInject() {
-	n.progressed = true
+func (n *Network) noteBypassInject(sh *shard) {
+	sh.progressed = true
 	if n.collecting {
-		n.col.BypassInjections++
+		sh.col.BypassInjections++
 	}
 }
 
-func (n *Network) noteBypassEject() {
-	n.progressed = true
+func (n *Network) noteBypassEject(sh *shard) {
+	sh.progressed = true
 	if n.collecting {
-		n.col.BypassEjections++
+		sh.col.BypassEjections++
 	}
 }
 

@@ -79,6 +79,9 @@ func (q *pktQueue) popFront() *flit.Packet {
 type NI struct {
 	id  int
 	net *Network
+	// sh is the shard owning this node (the single shard of a serial
+	// network); section-phase writes go through it.
+	sh *shard
 
 	// Injection queues, one per protocol class, in packets.
 	injQ []pktQueue
@@ -141,6 +144,7 @@ func initNI(ni *NI, id int, net *Network) {
 	V := p.vcsPerPort()
 	ni.id = id
 	ni.net = net
+	ni.sh = net.shardFor(id)
 	ni.injQ = make([]pktQueue, p.Classes)
 	ni.localCredits = make([]int, V)
 	ni.latch = make([]*flit.Flit, V)
@@ -241,23 +245,23 @@ func (ni *NI) deliverBypass(f *flit.Flit) {
 	}
 	if f.Packet.Dst == ni.id {
 		// Sink: the latch is not occupied, so the credit returns at once.
-		ni.net.creditReturn(ni.id, inDir, f.VC)
-		ni.net.noteBypassEject()
+		ni.net.creditReturn(ni.sh, ni.id, inDir, f.VC)
+		ni.net.noteBypassEject(ni.sh)
 		if r.bypassRemaining[f.VC] > 0 {
 			r.bypassRemaining[f.VC]--
 			r.bypassSum--
 		}
 		if f.Kind.IsTail() {
-			ni.net.deliverPacket(f.Packet)
+			ni.net.deliverPacket(ni.sh, f.Packet)
 		} else if f.Kind.IsHead() {
 			r.bypassSum += f.Packet.Length - 1 - r.bypassRemaining[f.VC]
 			r.bypassRemaining[f.VC] = f.Packet.Length - 1
 		}
-		ni.net.pool.PutFlit(f)
+		ni.sh.pool.PutFlit(f)
 		return
 	}
 	if ni.latch[f.VC] != nil {
-		ni.net.fail(&fault.ProtocolError{Cycle: ni.net.cycle, Router: ni.id,
+		ni.net.failSh(ni.sh, &fault.ProtocolError{Cycle: ni.net.cycle, Router: ni.id,
 			Msg: "bypass latch overrun (ring credit protocol violated)"})
 		return
 	}
@@ -299,14 +303,14 @@ func (ni *NI) tryAggressiveForward(r *Router, f *flit.Flit) bool {
 			ni.fwdCount++
 			if c.escape && !f.Packet.Escaped {
 				f.Packet.Escaped = true
-				ni.net.noteEscape(ni.id)
+				ni.net.noteEscape(ni.sh, ni.id)
 			}
 			if c.escape {
 				f.Packet.EscapeVC = c.escapeVCNext
 			}
 			if c.misroute {
 				f.Packet.Misroutes++
-				ni.net.noteMisroute(ni.id)
+				ni.net.noteMisroute(ni.sh, ni.id)
 			}
 			granted = true
 			break
@@ -330,13 +334,13 @@ func (ni *NI) tryAggressiveForward(r *Router, f *flit.Flit) bool {
 		r.bypassSum--
 	}
 	// The latch was never occupied: the upstream credit returns at once.
-	ni.net.creditReturn(ni.id, ni.net.ring.InDir(ni.id), v)
+	ni.net.creditReturn(ni.sh, ni.id, ni.net.ring.InDir(ni.id), v)
 	f.VC = out
 	ni.net.sendLinkDelay(ni.id, ringOut, f, 1)
 	if ni.net.collecting {
 		r.statBypassFlits++
 	}
-	ni.net.noteBypassHop(ni.id)
+	ni.net.noteBypassHop(ni.sh, ni.id)
 	if f.Kind.IsTail() {
 		r.outOwner[ringOut][out] = ownerFree
 		ni.fwdOutVC[v] = -1
@@ -356,9 +360,9 @@ func (ni *NI) tickDeliver() {
 			continue
 		}
 		if tf.f.Kind.IsTail() {
-			ni.net.deliverPacket(tf.f.Packet)
+			ni.net.deliverPacket(ni.sh, tf.f.Packet)
 		}
-		ni.net.pool.PutFlit(tf.f)
+		ni.sh.pool.PutFlit(tf.f)
 	}
 	ni.ejPend = keepEj
 	keepIn := ni.toLocal[:0]
@@ -395,7 +399,7 @@ func (ni *NI) tick() {
 	} else {
 		ni.quietRun = 0
 	}
-	ni.net.noteVCRequests(requests)
+	ni.net.noteVCRequests(ni.sh, requests)
 }
 
 // tickBypass runs the NoRD bypass pipeline. It returns the number of VC
@@ -411,9 +415,9 @@ func (ni *NI) tickBypass(r *Router) uint32 {
 			if ni.net.collecting {
 				r.statBypassFlits++
 			}
-			ni.net.noteBypassHop(ni.id)
+			ni.net.noteBypassHop(ni.sh, ni.id)
 		} else {
-			ni.net.noteBypassInject()
+			ni.net.noteBypassInject(ni.sh)
 		}
 		if f.Kind.IsTail() {
 			r.outOwner[ringOut][f.VC] = ownerFree
@@ -481,17 +485,10 @@ func (ni *NI) tickBypass(r *Router) uint32 {
 		requests++
 	}
 
-	// Restore withheld ring credits for VCs whose mid-bypass packet has
-	// fully drained after a wakeup (Section 4.3).
-	if r.heldVCs > 0 && r.on() {
-		for v := 0; v < V; v++ {
-			if r.creditsHeld[v] > 0 && r.bypassRemaining[v] == 0 && ni.latch[v] == nil {
-				ni.net.addRingUpstreamCredits(ni.id, v, r.creditsHeld[v])
-				r.creditsHeld[v] = 0
-				r.heldVCs--
-			}
-		}
-	}
+	// Withheld ring credits for VCs whose mid-bypass packet has fully
+	// drained after a wakeup (Section 4.3) are restored by
+	// restoreRingCredits at the post-NI merge point: the restore writes the
+	// ring-upstream neighbour, which may live in another shard.
 	return requests
 }
 
@@ -513,14 +510,14 @@ func (ni *NI) forwardFromLatch(r *Router, v int) bool {
 			ni.fwdCount++
 			if c.escape && !f.Packet.Escaped {
 				f.Packet.Escaped = true
-				ni.net.noteEscape(ni.id)
+				ni.net.noteEscape(ni.sh, ni.id)
 			}
 			if c.escape {
 				f.Packet.EscapeVC = c.escapeVCNext
 			}
 			if c.misroute {
 				f.Packet.Misroutes++
-				ni.net.noteMisroute(ni.id)
+				ni.net.noteMisroute(ni.sh, ni.id)
 			}
 			granted = true
 			break
@@ -533,7 +530,7 @@ func (ni *NI) forwardFromLatch(r *Router, v int) bool {
 	}
 	out := ni.fwdOutVC[v]
 	if out < 0 {
-		ni.net.fail(&fault.ProtocolError{Cycle: ni.net.cycle, Router: ni.id,
+		ni.net.failSh(ni.sh, &fault.ProtocolError{Cycle: ni.net.cycle, Router: ni.id,
 			Msg: "bypass body flit without an allocated downstream VC"})
 		return false
 	}
@@ -544,7 +541,7 @@ func (ni *NI) forwardFromLatch(r *Router, v int) bool {
 	ni.latch[v] = nil
 	ni.latchCount--
 	// The latch slot frees: return the ring-upstream credit.
-	ni.net.creditReturn(ni.id, ni.net.ring.InDir(ni.id), v)
+	ni.net.creditReturn(ni.sh, ni.id, ni.net.ring.InDir(ni.id), v)
 	f.VC = out
 	ni.injectOut = f
 	ni.injectFwd = true
@@ -595,21 +592,21 @@ func (ni *NI) advanceRingInjection(r *Router) bool {
 			ni.injQ[c].popFront()
 			ni.queuedTotal--
 			ni.classRR = c + 1
-			ni.curBuf = ni.net.pool.AppendFlits(ni.curBuf[:0], pkt)
+			ni.curBuf = ni.sh.pool.AppendFlits(ni.curBuf[:0], pkt)
 			ni.curFlits = ni.curBuf
 			ni.curVC = cd.vc
 			ni.curMode = modeRing
 			pkt.EnqueueTime = ni.net.cycle
 			if cd.escape && !pkt.Escaped {
 				pkt.Escaped = true
-				ni.net.noteEscape(ni.id)
+				ni.net.noteEscape(ni.sh, ni.id)
 			}
 			if cd.escape {
 				pkt.EscapeVC = cd.escapeVCNext
 			}
 			if cd.misroute {
 				pkt.Misroutes++
-				ni.net.noteMisroute(ni.id)
+				ni.net.noteMisroute(ni.sh, ni.id)
 			}
 			break
 		}
@@ -662,7 +659,7 @@ func (ni *NI) tickInjection(r *Router) uint32 {
 			ni.injQ[c].popFront()
 			ni.queuedTotal--
 			ni.classRR = c + 1
-			ni.curBuf = ni.net.pool.AppendFlits(ni.curBuf[:0], pkt)
+			ni.curBuf = ni.sh.pool.AppendFlits(ni.curBuf[:0], pkt)
 			ni.curFlits = ni.curBuf
 			ni.curVC = v
 			ni.curMode = modeLocal

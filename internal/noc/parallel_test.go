@@ -1,0 +1,244 @@
+package noc
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"nord/internal/fault"
+	"nord/internal/obs"
+	"nord/internal/stats"
+	"nord/internal/traffic"
+)
+
+// parallelRun is goldenRun with an explicit shard count: it drives one
+// sweep point to completion under the sharded kernel and returns
+// everything observable about it.
+func parallelRun(t *testing.T, p Params, cpus int, rate float64, seed int64, warmup, measure int) (*stats.NoC, []RouterReport, int) {
+	t.Helper()
+	p.Parallelism = cpus
+	n := MustNew(p)
+	defer n.Close()
+	inj := traffic.NewSynthetic(n, traffic.UniformRandom, rate, seed)
+	for c := 0; c < warmup; c++ {
+		inj.Tick(n.Cycle())
+		n.Tick()
+	}
+	n.BeginMeasurement()
+	for c := 0; c < measure; c++ {
+		inj.Tick(n.Cycle())
+		n.Tick()
+	}
+	n.FinishMeasurement()
+	return n.Collector(), n.PerRouterReports(), n.InFlight()
+}
+
+// TestParallelMatchesSerial is the determinism golden test of the sharded
+// parallel kernel: for every design, a mid-load sweep point run with P
+// worker shards must produce statistics bit-identical to the serial (P=1)
+// run — the parallel kernel is an execution strategy, not a model change.
+func TestParallelMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name   string
+		rate   float64
+		mutate func(*Params)
+	}{
+		{"NoPG", 0.10, func(p *Params) { p.Design = NoPG }},
+		{"ConvPG", 0.10, func(p *Params) { p.Design = ConvPG }},
+		{"ConvPGOpt", 0.10, func(p *Params) { p.Design = ConvPGOpt }},
+		{"NoRD", 0.10, func(p *Params) { p.Design = NoRD }},
+		{"NoRD_aggressive_dynamic", 0.10, func(p *Params) {
+			p.Design = NoRD
+			p.AggressiveBypass = true
+			p.DynamicClassify = true
+			p.ReclassifyPeriod = 512
+		}},
+		{"NoRD_forced_off", 0.05, func(p *Params) {
+			p.Design = NoRD
+			p.ForcedOff = true
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams(NoPG)
+			p.Width, p.Height = 8, 8
+			tc.mutate(&p)
+
+			sCol, sPer, sInFlight := parallelRun(t, p, 1, tc.rate, 7, 1000, 4000)
+			if sCol.PacketsDelivered == 0 {
+				t.Fatal("sweep point delivered no packets; test is vacuous")
+			}
+			for _, cpus := range []int{2, 3, 8} {
+				pCol, pPer, pInFlight := parallelRun(t, p, cpus, tc.rate, 7, 1000, 4000)
+				if !reflect.DeepEqual(sCol, pCol) {
+					t.Errorf("P=%d: collector statistics diverge:\nserial:   %+v\nparallel: %+v", cpus, sCol, pCol)
+				}
+				if !reflect.DeepEqual(sPer, pPer) {
+					for i := range sPer {
+						if !reflect.DeepEqual(sPer[i], pPer[i]) {
+							t.Errorf("P=%d: router %d report diverges:\nserial:   %+v\nparallel: %+v", cpus, i, sPer[i], pPer[i])
+						}
+					}
+				}
+				if sInFlight != pInFlight {
+					t.Errorf("P=%d: in-flight count diverges: serial %d, parallel %d", cpus, sInFlight, pInFlight)
+				}
+			}
+		})
+	}
+}
+
+// faultedRun is parallelRun with a fault schedule armed; it additionally
+// returns the recovery report.
+func faultedRun(t *testing.T, p Params, cpus int, cfg fault.Config, rate float64, seed int64, warmup, measure int) (*stats.NoC, *fault.Report, int) {
+	t.Helper()
+	p.Parallelism = cpus
+	n := MustNew(p)
+	defer n.Close()
+	sched, err := fault.Generate(cfg, p.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachFaults(sched, FaultOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	inj := traffic.NewSynthetic(n, traffic.UniformRandom, rate, seed)
+	for c := 0; c < warmup; c++ {
+		inj.Tick(n.Cycle())
+		n.Tick()
+	}
+	n.BeginMeasurement()
+	for c := 0; c < measure; c++ {
+		inj.Tick(n.Cycle())
+		n.Tick()
+	}
+	n.FinishMeasurement()
+	return n.Collector(), n.FaultReport(), n.InFlight()
+}
+
+// TestParallelMatchesSerialFaults extends the golden test to faulted runs:
+// link corruptions land on shard-boundary links, poisoned packets are
+// dropped and retransmitted, and the recovery report must still match the
+// serial run exactly.
+func TestParallelMatchesSerialFaults(t *testing.T) {
+	cases := []struct {
+		name   string
+		design Design
+		cfg    fault.Config
+	}{
+		{"NoRD_all_faults", NoRD, fault.Config{
+			Seed: 5, Horizon: 3500, CorruptLinks: 24, DropWakeups: 4, StuckOff: 2, HardFails: 1,
+		}},
+		{"ConvPG_corrupt_links", ConvPG, fault.Config{
+			Seed: 9, Horizon: 3500, CorruptLinks: 32,
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams(tc.design)
+			p.Width, p.Height = 8, 8
+
+			sCol, sRep, sInFlight := faultedRun(t, p, 1, tc.cfg, 0.10, 13, 1000, 3000)
+			if sRep.FlitsCorrupted == 0 {
+				t.Fatal("no flit was corrupted; test is vacuous")
+			}
+			for _, cpus := range []int{2, 8} {
+				pCol, pRep, pInFlight := faultedRun(t, p, cpus, tc.cfg, 0.10, 13, 1000, 3000)
+				if !reflect.DeepEqual(sCol, pCol) {
+					t.Errorf("P=%d: collector statistics diverge:\nserial:   %+v\nparallel: %+v", cpus, sCol, pCol)
+				}
+				if !reflect.DeepEqual(sRep, pRep) {
+					t.Errorf("P=%d: fault report diverges:\nserial:   %+v\nparallel: %+v", cpus, sRep, pRep)
+				}
+				if sInFlight != pInFlight {
+					t.Errorf("P=%d: in-flight count diverges: serial %d, parallel %d", cpus, sInFlight, pInFlight)
+				}
+			}
+		})
+	}
+}
+
+// tracedRun runs a sweep point with a tracer attached and returns the
+// rendered Chrome trace and NDJSON dump.
+func tracedRun(t *testing.T, p Params, cpus int) (chrome, ndjson []byte) {
+	t.Helper()
+	p.Parallelism = cpus
+	n := MustNew(p)
+	defer n.Close()
+	tr := obs.New(obs.Config{SampleEvery: 64, ResidencyEvery: 256})
+	n.SetTracer(tr)
+	inj := traffic.NewSynthetic(n, traffic.UniformRandom, 0.10, 3)
+	for c := 0; c < 4000; c++ {
+		inj.Tick(n.Cycle())
+		n.Tick()
+	}
+	var cb, nb bytes.Buffer
+	if err := tr.WriteChromeTrace(&cb, n.Cycle()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteNDJSON(&nb); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), nb.Bytes()
+}
+
+// TestParallelTracerIdentical proves the deferred-event replay keeps the
+// tracer exact: the rendered Chrome trace and NDJSON dump of a P=8 run
+// must be byte-identical to the serial run's, including the subset picked
+// by the order-sensitive bypass-hop sampling counter.
+func TestParallelTracerIdentical(t *testing.T) {
+	p := DefaultParams(NoRD)
+	p.Width, p.Height = 8, 8
+	p.AggressiveBypass = true
+
+	sChrome, sND := tracedRun(t, p, 1)
+	pChrome, pND := tracedRun(t, p, 8)
+	if !bytes.Equal(sChrome, pChrome) {
+		t.Errorf("Chrome trace diverges: serial %d bytes, parallel %d bytes", len(sChrome), len(pChrome))
+	}
+	if !bytes.Equal(sND, pND) {
+		t.Errorf("NDJSON dump diverges: serial %d bytes, parallel %d bytes", len(sND), len(pND))
+	}
+	if len(sND) == 0 {
+		t.Fatal("tracer recorded nothing; test is vacuous")
+	}
+}
+
+// TestParallelSoak stresses the sharded kernel under the race detector
+// (the CI race job selects it by name): a 16x16 mesh at P=8 plus a small
+// random (seed, P) matrix on 8x8, checking against the serial run each
+// time. Kept short; correctness depth lives in TestParallelMatchesSerial.
+func TestParallelSoak(t *testing.T) {
+	t.Run("16x16_P8", func(t *testing.T) {
+		p := DefaultParams(NoRD)
+		p.Width, p.Height = 16, 16
+		sCol, _, _ := parallelRun(t, p, 1, 0.10, 21, 500, 1500)
+		pCol, _, _ := parallelRun(t, p, 8, 0.10, 21, 500, 1500)
+		if sCol.PacketsDelivered == 0 {
+			t.Fatal("no packets delivered; test is vacuous")
+		}
+		if !reflect.DeepEqual(sCol, pCol) {
+			t.Errorf("collector statistics diverge:\nserial:   %+v\nparallel: %+v", sCol, pCol)
+		}
+	})
+	for _, tc := range []struct {
+		design Design
+		seed   int64
+		cpus   int
+	}{
+		{NoRD, 31, 5},
+		{ConvPGOpt, 32, 7},
+		{NoPG, 33, 4},
+	} {
+		t.Run(fmt.Sprintf("%s_seed%d_P%d", tc.design, tc.seed, tc.cpus), func(t *testing.T) {
+			p := DefaultParams(tc.design)
+			p.Width, p.Height = 8, 8
+			sCol, _, _ := parallelRun(t, p, 1, 0.15, tc.seed, 400, 1200)
+			pCol, _, _ := parallelRun(t, p, tc.cpus, 0.15, tc.seed, 400, 1200)
+			if !reflect.DeepEqual(sCol, pCol) {
+				t.Errorf("collector statistics diverge:\nserial:   %+v\nparallel: %+v", sCol, pCol)
+			}
+		})
+	}
+}

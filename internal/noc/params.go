@@ -163,6 +163,16 @@ type Params struct {
 	// determinism test compares their statistics bit for bit. Attaching a
 	// fault schedule forces full-scan mode regardless of this flag.
 	FullScanTick bool
+	// Parallelism selects the sharded parallel tick kernel: the mesh (and
+	// the NoRD bypass ring) is partitioned into this many contiguous
+	// spatial domains, each ticked by a pinned worker goroutine, with
+	// cross-shard link/credit traffic committed at deterministic phase
+	// barriers in fixed (shard, source, port) order. 0 and 1 both select
+	// the serial kernel, which is the single-shard special case of the
+	// same code path; values above the node count are clamped. Results
+	// are bit-identical across all parallelism levels (the golden
+	// TestParallelMatchesSerial equivalence).
+	Parallelism int
 }
 
 // DefaultParams returns the paper's Table 1 configuration for a given
@@ -240,6 +250,9 @@ func (p *Params) Validate() error {
 	}
 	if p.WatchdogLimit < 0 {
 		return fmt.Errorf("noc: watchdog limit must be non-negative, got %d", p.WatchdogLimit)
+	}
+	if p.Parallelism < 0 {
+		return fmt.Errorf("noc: parallelism must be non-negative, got %d", p.Parallelism)
 	}
 	return nil
 }

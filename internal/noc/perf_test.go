@@ -63,6 +63,44 @@ func BenchmarkKernel(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelParallel is the sharded-kernel scaling matrix: NoRD on
+// 16x16/32x32/64x64 meshes at every shard count the BENCH_kernel.json
+// scaling points use. Loads drop with mesh size to stay below the
+// uniform-random saturation bound (~1/width), matching
+// sim.KernelScalingMeshes; P=1 is the same code path run single-shard —
+// the speedup denominator.
+func BenchmarkKernelParallel(b *testing.B) {
+	for _, m := range []struct {
+		w    int
+		rate float64
+	}{{16, 0.10}, {32, 0.05}, {64, 0.02}} {
+		for _, cpus := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("NoRD/%dx%d/P%d", m.w, m.w, cpus), func(b *testing.B) {
+				p := DefaultParams(NoRD)
+				p.Width, p.Height = m.w, m.w
+				p.Parallelism = cpus
+				n := MustNew(p)
+				defer n.Close()
+				inj := traffic.NewSynthetic(n, traffic.UniformRandom, m.rate, 1)
+				for c := 0; c < 2000; c++ {
+					inj.Tick(n.Cycle())
+					n.Tick()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					inj.Tick(n.Cycle())
+					n.Tick()
+				}
+				if el := time.Since(start).Seconds(); el > 0 {
+					b.ReportMetric(float64(b.N)/el, "cycles/sec")
+				}
+			})
+		}
+	}
+}
+
 // TestSteadyStateZeroAllocs proves the tick hot path is allocation-free
 // in steady state for all four designs: after warmup, whole simulated
 // cycles (traffic generation included) must not allocate.

@@ -99,6 +99,9 @@ func (v *vcState) pop() *flit.Flit {
 type Router struct {
 	id  int
 	net *Network
+	// sh is the shard owning this router's node (the single shard of a
+	// serial network); section-phase writes go through it.
+	sh *shard
 
 	// in[dir][vc] are the input units. The Local port receives flits
 	// injected by the NI.
@@ -230,6 +233,7 @@ func initRouter(r *Router, id int, net *Network) {
 	ND := int(topology.NumDirs)
 	r.id = id
 	r.net = net
+	r.sh = net.shardFor(id)
 	r.bypassRemaining = make([]int, V)
 	r.creditsHeld = make([]int, V)
 	states := make([]vcState, ND*V)
@@ -382,9 +386,9 @@ func (r *Router) tickSA() {
 			if r.net.collecting {
 				r.statSAGrants++
 			}
-			r.net.noteSAGrant(d)
+			r.net.noteSAGrant(r.sh, d)
 			// Return a credit upstream for the freed buffer slot.
-			r.net.creditReturn(r.id, d, v)
+			r.net.creditReturn(r.sh, r.id, d, v)
 			if f.Kind.IsTail() {
 				if out != topology.Local {
 					r.outOwner[out][vc.outVC] = ownerFree
@@ -394,7 +398,7 @@ func (r *Router) tickSA() {
 				// the departed tail; it starts route computation now.
 				if h := vc.head(); h != nil {
 					if !h.Kind.IsHead() {
-						r.net.fail(&fault.ProtocolError{Cycle: r.net.cycle, Router: r.id,
+						r.net.failSh(r.sh, &fault.ProtocolError{Cycle: r.net.cycle, Router: r.id,
 							Msg: "non-head flit follows a tail in a VC buffer"})
 						continue
 					}
@@ -465,8 +469,10 @@ func (r *Router) allocate(d topology.Dir, v int, vc *vcState) {
 		vc.wuFrom = r.net.cycle + uint64(dec.wuDelay)
 		vc.vaFails = 0
 		// The wake target may be dormant: put it on the worklist so its
-		// controller observes the asserted WU level this cycle.
-		r.net.activate(dec.wakeTarget)
+		// controller observes the asserted WU level this cycle (deferred
+		// to the merge when the target lives in another shard — its
+		// controller phase runs serially after the merge either way).
+		r.net.activateFrom(r.sh, dec.wakeTarget)
 		return
 	case actEject:
 		// Local ejection needs no VC allocation; the Local "output VC" 0
@@ -475,7 +481,7 @@ func (r *Router) allocate(d topology.Dir, v int, vc *vcState) {
 		vc.route = topology.Local
 		vc.outVC = 0
 		vc.vaFails = 0
-		r.net.noteVAGrant()
+		r.net.noteVAGrant(r.sh)
 		return
 	}
 	// Try the ordered candidates (adaptive first, escape fallback).
@@ -491,16 +497,16 @@ func (r *Router) allocate(d topology.Dir, v int, vc *vcState) {
 		vc.vaFails = 0
 		if c.escape && !pkt.Escaped {
 			pkt.Escaped = true
-			r.net.noteEscape(r.id)
+			r.net.noteEscape(r.sh, r.id)
 		}
 		if c.escape {
 			pkt.EscapeVC = c.escapeVCNext
 		}
 		if c.misroute {
 			pkt.Misroutes++
-			r.net.noteMisroute(r.id)
+			r.net.noteMisroute(r.sh, r.id)
 		}
-		r.net.noteVAGrant()
+		r.net.noteVAGrant(r.sh)
 		return
 	}
 	// Allocation failed; retry (and recompute the route) next cycle.
@@ -533,13 +539,13 @@ func (r *Router) tickRC() {
 				// Resume once the target router woke (or an alternative
 				// appeared); the route is recomputed from scratch.
 				if r.net.routers[vc.target].on() || r.net.route(r, d, vc.head().Packet, 0).action != actWake {
-					r.net.noteWakeStall(r.net.cycle - vc.stallAt)
+					r.net.noteWakeStall(r.sh, r.net.cycle-vc.stallAt)
 					r.setPhase(vc, r.freshHeadPhase())
 				} else {
 					// Still stalled: keep the target on the worklist so
 					// it keeps seeing the WU level (its own queues give
 					// it nothing to stay awake for).
-					r.net.activate(vc.target)
+					r.net.activateFrom(r.sh, vc.target)
 				}
 			}
 		}
@@ -551,19 +557,19 @@ func (r *Router) tickRC() {
 func (r *Router) acceptFlit(d topology.Dir, f *flit.Flit) {
 	vc := r.in[d][f.VC]
 	if len(vc.buf) >= r.net.p.BufferDepth {
-		r.net.fail(&fault.ProtocolError{Cycle: r.net.cycle, Router: r.id,
+		r.net.failSh(r.sh, &fault.ProtocolError{Cycle: r.net.cycle, Router: r.id,
 			Msg: fmt.Sprintf("buffer overflow at port %v vc %d (credit protocol violated)", d, f.VC)})
 		return
 	}
 	vc.push(f)
 	r.bufFlits++
-	r.net.noteBufWrite()
+	r.net.noteBufWrite(r.sh)
 	// A head flit starts route computation only once it is at the front
 	// of the buffer (an earlier packet's tail may still be draining; the
 	// upstream freed the output VC at its tail).
 	if f.Kind.IsHead() && len(vc.buf) == 1 {
 		if vc.phase != vcIdle {
-			r.net.fail(&fault.ProtocolError{Cycle: r.net.cycle, Router: r.id,
+			r.net.failSh(r.sh, &fault.ProtocolError{Cycle: r.net.cycle, Router: r.id,
 				Msg: fmt.Sprintf("head flit at front of busy VC at port %v vc %d phase %d", d, f.VC, vc.phase)})
 			return
 		}

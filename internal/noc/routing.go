@@ -145,7 +145,7 @@ func (n *Network) routeConv(r *Router, pkt *flit.Packet, vaFails int) decision {
 	xy := n.xyDir(r.id, pkt.Dst)
 	xyNb, _ := n.mesh.Neighbor(r.id, xy)
 
-	cands := n.candScratch[:0]
+	cands := r.sh.candScratch[:0]
 	if !pkt.Escaped {
 		// Adaptive candidates: minimal directions whose router is on,
 		// best-credit first.
@@ -167,7 +167,7 @@ func (n *Network) routeConv(r *Router, pkt *flit.Packet, vaFails int) decision {
 	if n.routers[xyNb].on() {
 		cands = append(cands, cand{dir: xy, vc: base, escape: true})
 	}
-	n.candScratch = cands
+	r.sh.candScratch = cands
 	if len(cands) == 0 {
 		// No usable output at all: stall and wake the XY-preferred
 		// neighbor (node-router dependence, Section 3).
@@ -214,13 +214,13 @@ func (n *Network) routeNoRD(r *Router, inDir topology.Dir, pkt *flit.Packet, vaF
 		escapeVCNext: n.ringEscapeVCNext(r.id, pkt),
 	}
 	if pkt.Escaped {
-		cands := append(n.candScratch[:0], escCand)
-		n.candScratch = cands
+		cands := append(r.sh.candScratch[:0], escCand)
+		r.sh.candScratch = cands
 		return decision{action: actPort, cands: cands}
 	}
 
 	var dec decision
-	dec.cands = n.candScratch[:0]
+	dec.cands = r.sh.candScratch[:0]
 	ds := n.minimalDirSet(r.id, pkt.Dst)
 	dirs := ds.d[:ds.cnt]
 	n.orderByCredit(r, dirs, adaptiveLo, adaptiveHi)
@@ -262,7 +262,7 @@ func (n *Network) routeNoRD(r *Router, inDir topology.Dir, pkt *flit.Packet, vaF
 	if len(dec.cands) == 0 || vaFails >= escapeAfterNoRD {
 		dec.cands = append(dec.cands, escCand)
 	}
-	n.candScratch = dec.cands
+	r.sh.candScratch = dec.cands
 	return dec
 }
 
@@ -284,8 +284,8 @@ func (n *Network) bypassCands(r *Router, pkt *flit.Packet, fails int) []cand {
 		escapeVCNext: n.ringEscapeVCNext(r.id, pkt),
 	}
 	if pkt.Escaped {
-		cands := append(n.candScratch[:0], escCand)
-		n.candScratch = cands
+		cands := append(r.sh.candScratch[:0], escCand)
+		r.sh.candScratch = cands
 		return cands
 	}
 	misroute := true
@@ -295,7 +295,7 @@ func (n *Network) bypassCands(r *Router, pkt *flit.Packet, fails int) []cand {
 			misroute = false
 		}
 	}
-	cands := n.candScratch[:0]
+	cands := r.sh.candScratch[:0]
 	if pkt.Misroutes < n.p.MisrouteCap || !misroute {
 		for v := adaptiveLo; v < adaptiveHi; v++ {
 			cands = append(cands, cand{dir: ringOut, vc: v, misroute: misroute})
@@ -304,7 +304,7 @@ func (n *Network) bypassCands(r *Router, pkt *flit.Packet, fails int) []cand {
 	if len(cands) == 0 || fails >= escapeAfterNoRD {
 		cands = append(cands, escCand)
 	}
-	n.candScratch = cands
+	r.sh.candScratch = cands
 	return cands
 }
 

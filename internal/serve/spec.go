@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"runtime"
 
 	"nord/internal/memsys"
 	"nord/internal/noc"
@@ -25,7 +26,10 @@ type JobRequest struct {
 // Warmup is a pointer so an explicit 0 ("no warmup") is distinguishable
 // from the field being omitted (the paper's default); TraceEvents asks
 // the server to record a cycle-level event trace for this job, streamed
-// at GET /v1/jobs/{id}/trace.
+// at GET /v1/jobs/{id}/trace. Parallelism selects the tick kernel's
+// shard count (0 = serial); results are bit-identical across values, so
+// it is an execution hint excluded from the job's cache key — jobs that
+// differ only in parallelism coalesce.
 type SyntheticSpec struct {
 	Design        string  `json:"design"`
 	Width         int     `json:"width"`
@@ -39,6 +43,7 @@ type SyntheticSpec struct {
 	NoPerfCentric bool    `json:"no_perf_centric"`
 	ForcedOff     bool    `json:"forced_off"`
 	TraceEvents   bool    `json:"trace_events,omitempty"`
+	Parallelism   int     `json:"parallelism,omitempty"`
 }
 
 // WorkloadSpec requests one PARSEC-like full-system run (sim.RunWorkload).
@@ -219,6 +224,9 @@ func (sp *SyntheticSpec) resolve() (*task, error) {
 			return nil, err
 		}
 	}
+	if sp.Parallelism < 0 {
+		return nil, fmt.Errorf("negative parallelism %d (0 = serial)", sp.Parallelism)
+	}
 	cfg := sim.SynthConfig{
 		Design:        design,
 		Width:         sp.Width,
@@ -236,7 +244,15 @@ func (sp *SyntheticSpec) resolve() (*task, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Clamp (rather than reject) parallelism above the local core count:
+	// the same spec is shipped verbatim to fleet workers with
+	// heterogeneous core counts, and results are bit-identical at any P.
+	parallelism := sp.Parallelism
+	if max := runtime.NumCPU(); parallelism > max {
+		parallelism = max
+	}
 	return &task{kind: "synthetic", key: key, traced: sp.TraceEvents, run: func(ctx context.Context, opt sim.RunOptions) ([]byte, *runInfo, error) {
+		opt.Parallelism = parallelism
 		r, err := sim.RunSyntheticOpts(ctx, cfg, opt)
 		if err != nil {
 			return nil, nil, err

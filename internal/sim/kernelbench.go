@@ -37,16 +37,57 @@ const KernelWarmup = 2000
 // rather than on the hot path.
 const KernelAllocBudget = 0.01
 
+// KernelScalingMeshes are the square meshes of the parallel-scaling
+// matrix appended to the legacy 8x8 design sweep, each run at every
+// shard count in KernelParallelisms. The load drops with mesh size
+// because uniform-random saturation scales as ~1/width (bisection
+// bound): a fixed 0.10 would put the 32x32 and 64x64 points past
+// saturation, where the backlog — and allocations — grow for the whole
+// run and ns/cycle measures queue growth rather than kernel speed.
+var KernelScalingMeshes = []struct {
+	Width int
+	Rate  float64
+}{
+	{16, 0.10},
+	{32, 0.05},
+	{64, 0.02},
+}
+
+// KernelParallelisms is the shard-count axis of the scaling matrix.
+// P=1 runs the identical code path single-shard and is the denominator
+// of SpeedupVsSerial.
+var KernelParallelisms = []int{1, 2, 4, 8}
+
 // KernelPoint is one measured cell of the kernel benchmark matrix.
+// Width/Height and Parallelism are 0 in baselines written before the
+// sharded kernel existed; readers normalise 0 to 8x8 serial.
 type KernelPoint struct {
-	Design         string  `json:"design"`
-	Rate           float64 `json:"rate"`
-	Cycles         int     `json:"cycles"`
-	NsPerCycle     float64 `json:"ns_per_cycle"`
-	CyclesPerSec   float64 `json:"cycles_per_sec"`
-	AllocsPerCycle float64 `json:"allocs_per_cycle"`
-	BytesPerCycle  float64 `json:"bytes_per_cycle"`
-	Budget         float64 `json:"alloc_budget"`
+	Design          string  `json:"design"`
+	Rate            float64 `json:"rate"`
+	Width           int     `json:"width,omitempty"`
+	Height          int     `json:"height,omitempty"`
+	Parallelism     int     `json:"parallelism,omitempty"`
+	Cycles          int     `json:"cycles"`
+	NsPerCycle      float64 `json:"ns_per_cycle"`
+	CyclesPerSec    float64 `json:"cycles_per_sec"`
+	AllocsPerCycle  float64 `json:"allocs_per_cycle"`
+	BytesPerCycle   float64 `json:"bytes_per_cycle"`
+	Budget          float64 `json:"alloc_budget"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// norm returns the point's matrix key fields with pre-sharding baselines
+// normalised: width 0 means the legacy 8x8 mesh, parallelism 0 means
+// serial.
+func (p KernelPoint) norm() (width, parallelism int) {
+	width, parallelism = p.Width, p.Parallelism
+	if width == 0 {
+		width = 8
+	}
+	if parallelism == 0 {
+		parallelism = 1
+	}
+	return width, parallelism
 }
 
 // Regressed reports whether the point blows its per-cycle allocation
@@ -99,45 +140,75 @@ func LoadKernelReport(r io.Reader) (*KernelReport, error) {
 }
 
 // CompareBaseline matches this report's points against a committed
-// baseline by (design, rate) and returns one complaint per regression:
-// a point whose ns/cycle exceeds the baseline by more than tol
-// (fractional — 0.75 tolerates a +75% slowdown, absorbing CI-runner
-// noise while still catching order-of-magnitude regressions), or a
-// baseline point missing from this report (a silently dropped matrix
-// cell would otherwise read as a pass). Faster-than-baseline points and
-// points new in this report are fine.
+// baseline by (design, rate, width, parallelism) and returns one
+// complaint per regression: a point whose ns/cycle exceeds the baseline
+// by more than tol (fractional — 0.75 tolerates a +75% slowdown,
+// absorbing CI-runner noise while still catching order-of-magnitude
+// regressions), or a baseline point missing from this report (a
+// silently dropped matrix cell would otherwise read as a pass). The
+// missing-cell check is scoped to (width, parallelism) groups this run
+// actually covers, so a short run that skips the scaling matrix — or an
+// old baseline compared against a run on a machine with fewer CPUs —
+// doesn't fail spuriously. Pre-sharding baseline points (no width /
+// parallelism fields) are normalised to 8x8 serial. Faster-than-baseline
+// points and points new in this report are fine.
 func (r *KernelReport) CompareBaseline(base *KernelReport, tol float64) []string {
 	type cell struct {
-		design string
-		rate   float64
+		design      string
+		rate        float64
+		width       int
+		parallelism int
 	}
+	type group struct{ width, parallelism int }
 	cur := make(map[cell]KernelPoint, len(r.Points))
+	covered := make(map[group]bool, len(r.Points))
 	for _, p := range r.Points {
-		cur[cell{p.Design, p.Rate}] = p
+		w, par := p.norm()
+		cur[cell{p.Design, p.Rate, w, par}] = p
+		covered[group{w, par}] = true
 	}
 	var bad []string
 	for _, bp := range base.Points {
-		p, ok := cur[cell{bp.Design, bp.Rate}]
+		w, par := bp.norm()
+		p, ok := cur[cell{bp.Design, bp.Rate, w, par}]
 		if !ok {
-			bad = append(bad, fmt.Sprintf("%s rate %.2f: present in baseline, missing from this run", bp.Design, bp.Rate))
+			if covered[group{w, par}] {
+				bad = append(bad, fmt.Sprintf("%s rate %.2f %dx%d P=%d: present in baseline, missing from this run",
+					bp.Design, bp.Rate, w, w, par))
+			}
 			continue
 		}
 		if bp.NsPerCycle <= 0 {
 			continue
 		}
 		if ratio := p.NsPerCycle / bp.NsPerCycle; ratio > 1+tol {
-			bad = append(bad, fmt.Sprintf("%s rate %.2f: %.1f ns/cycle vs baseline %.1f (%.2fx, tolerance %.2fx)",
-				p.Design, p.Rate, p.NsPerCycle, bp.NsPerCycle, ratio, 1+tol))
+			bad = append(bad, fmt.Sprintf("%s rate %.2f %dx%d P=%d: %.1f ns/cycle vs baseline %.1f (%.2fx, tolerance %.2fx)",
+				p.Design, p.Rate, w, w, par, p.NsPerCycle, bp.NsPerCycle, ratio, 1+tol))
 		}
 	}
 	return bad
 }
 
-// KernelBench runs the kernel benchmark matrix: for each design and load,
-// an 8x8 network is warmed up for KernelWarmup cycles and then ticked
-// `measure` times under the wall clock and the allocator counters
-// (runtime.MemStats deltas). progress may be nil.
+// KernelBench runs the kernel benchmark matrix in two parts: the legacy
+// 8x8 x designs x loads serial sweep, then the parallel-scaling matrix —
+// NoRD on the KernelScalingMeshes (per-mesh sub-saturation loads), each
+// at every shard count in KernelParallelisms, with the measured cycle
+// count scaled down by node count (floor 500) so the big meshes stay
+// affordable. Every
+// network is warmed up for KernelWarmup cycles, then ticked under the
+// wall clock and the allocator counters (runtime.MemStats deltas).
+// Scaling points record SpeedupVsSerial against the P=1 point of the
+// same (design, rate, mesh). progress may be nil.
 func KernelBench(measure int, seed int64, progress func(string)) (*KernelReport, error) {
+	return KernelBenchP(measure, seed, 0, progress)
+}
+
+// KernelBenchP is KernelBench with the scaling matrix's parallelism
+// axis
+// capped at maxP: 0 runs the full KernelParallelisms axis, 1 keeps only
+// the serial scaling points (small CI runners), and a negative cap skips
+// the scaling matrix entirely. The 8x8 design sweep always runs.
+func KernelBenchP(measure int, seed int64, maxP int, progress func(string)) (*KernelReport, error) {
 	if measure < 1 {
 		return nil, fmt.Errorf("sim: kernel benchmark needs a positive cycle count, got %d", measure)
 	}
@@ -151,9 +222,39 @@ func KernelBench(measure int, seed int64, progress func(string)) (*KernelReport,
 			if progress != nil {
 				progress(fmt.Sprintf("%s / rate %.2f", d, rate))
 			}
-			pt, err := kernelPoint(d, rate, measure, seed)
+			pt, err := kernelPoint(d, rate, 8, 1, measure, seed)
 			if err != nil {
 				return nil, err
+			}
+			rep.Points = append(rep.Points, pt)
+		}
+	}
+	if maxP < 0 {
+		return rep, nil
+	}
+	for _, m := range KernelScalingMeshes {
+		w := m.Width
+		cycles := measure * 64 / (w * w)
+		if cycles < 500 {
+			cycles = 500
+		}
+		var serialNs float64
+		for _, par := range KernelParallelisms {
+			if maxP > 0 && par > maxP {
+				continue
+			}
+			if progress != nil {
+				progress(fmt.Sprintf("NoRD / rate %.2f / %dx%d / P=%d", m.Rate, w, w, par))
+			}
+			pt, err := kernelPoint(noc.NoRD, m.Rate, w, par, cycles, seed)
+			if err != nil {
+				return nil, err
+			}
+			if par == 1 {
+				serialNs = pt.NsPerCycle
+			}
+			if serialNs > 0 && pt.NsPerCycle > 0 {
+				pt.SpeedupVsSerial = serialNs / pt.NsPerCycle
 			}
 			rep.Points = append(rep.Points, pt)
 		}
@@ -161,13 +262,15 @@ func KernelBench(measure int, seed int64, progress func(string)) (*KernelReport,
 	return rep, nil
 }
 
-func kernelPoint(d noc.Design, rate float64, measure int, seed int64) (KernelPoint, error) {
+func kernelPoint(d noc.Design, rate float64, width, parallelism, measure int, seed int64) (KernelPoint, error) {
 	p := noc.DefaultParams(d)
-	p.Width, p.Height = 8, 8
+	p.Width, p.Height = width, width
+	p.Parallelism = parallelism
 	n, err := noc.New(p)
 	if err != nil {
 		return KernelPoint{}, err
 	}
+	defer n.Close()
 	inj := traffic.NewSynthetic(n, traffic.UniformRandom, rate, seed)
 	for c := 0; c < KernelWarmup; c++ {
 		inj.Tick(n.Cycle())
@@ -193,8 +296,17 @@ func kernelPoint(d noc.Design, rate float64, measure int, seed int64) (KernelPoi
 	if rate >= 0.3 {
 		budget = 0 // saturation: reported, not gated
 	}
+	if parallelism > 1 || width != 8 {
+		// Only the legacy 8x8 serial sweep carries the alloc gate (along
+		// with TestSteadyStateZeroAllocs). Scaling points measure time:
+		// their short, node-scaled windows cannot amortise the one-time
+		// slice growths a 50k-cycle run absorbs, and sharded runs can be
+		// charged stray runtime allocations by goroutine scheduling.
+		budget = 0
+	}
 	pt := KernelPoint{
 		Design: d.String(), Rate: rate, Cycles: measure, Budget: budget,
+		Width: width, Height: width, Parallelism: parallelism,
 		NsPerCycle:     float64(elapsed.Nanoseconds()) / float64(measure),
 		AllocsPerCycle: float64(after.Mallocs-before.Mallocs) / float64(measure),
 		BytesPerCycle:  float64(after.TotalAlloc-before.TotalAlloc) / float64(measure),

@@ -15,17 +15,28 @@ func TestKernelBench(t *testing.T) {
 		t.Skip("kernel benchmark matrix is slow under -short")
 	}
 	const cycles = 300
-	rep, err := KernelBench(cycles, 1, nil)
+	// maxP=1 keeps the scaling meshes serial so the test stays affordable;
+	// the full parallelism axis is exercised by `nordbench -kernel` in CI.
+	rep, err := KernelBenchP(cycles, 1, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(FullDesigns()) * len(KernelRates)
+	want := len(FullDesigns())*len(KernelRates) + len(KernelScalingMeshes)
 	if len(rep.Points) != want {
 		t.Fatalf("got %d points, want %d", len(rep.Points), want)
 	}
 	for _, p := range rep.Points {
-		if p.Cycles != cycles {
+		if p.Width == 8 && p.Cycles != cycles {
 			t.Errorf("%s rate %.2f: measured %d cycles, want %d", p.Design, p.Rate, p.Cycles, cycles)
+		}
+		if p.Width != 8 {
+			if p.Parallelism != 1 {
+				t.Errorf("%s %dx%d: maxP=1 run produced P=%d point", p.Design, p.Width, p.Width, p.Parallelism)
+			}
+			if p.SpeedupVsSerial != 1 {
+				t.Errorf("%s %dx%d: serial scaling point has speedup %f, want 1",
+					p.Design, p.Width, p.Width, p.SpeedupVsSerial)
+			}
 		}
 		if p.NsPerCycle <= 0 || p.CyclesPerSec <= 0 {
 			t.Errorf("%s rate %.2f: non-positive timing (%f ns/cycle, %f cycles/sec)",
@@ -35,8 +46,11 @@ func TestKernelBench(t *testing.T) {
 			t.Errorf("%s rate %.2f: bad allocation accounting (%f/cycle, budget %f)",
 				p.Design, p.Rate, p.AllocsPerCycle, p.Budget)
 		}
-		if p.Rate < 0.3 && p.Budget == 0 {
-			t.Errorf("%s rate %.2f: low/mid-load point must be gated", p.Design, p.Rate)
+		if p.Width == 8 && p.Rate < 0.3 && p.Budget == 0 {
+			t.Errorf("%s rate %.2f: low/mid-load 8x8 point must be gated", p.Design, p.Rate)
+		}
+		if p.Width != 8 && p.Budget != 0 {
+			t.Errorf("%s %dx%d: scaling point must not carry the alloc gate", p.Design, p.Width, p.Width)
 		}
 	}
 	var buf bytes.Buffer
@@ -104,6 +118,32 @@ func TestCompareBaseline(t *testing.T) {
 	zero := &KernelReport{Points: []KernelPoint{pt("NoRD", 0.02, 0)}}
 	if bad := cur.CompareBaseline(zero, 0.75); len(bad) != 0 {
 		t.Fatalf("zero-baseline point flagged %v", bad)
+	}
+
+	// Scaling-matrix cells are matched by (width, parallelism) too, and
+	// the missing-cell check is scoped to groups the current run covers: a
+	// run that skipped the 16x16 P=4 group (e.g. `-cpus 1` on a small
+	// machine) is not penalised for the baseline having it, but a dropped
+	// cell inside a covered group still is.
+	scaled := func(design string, w, par int, ns float64) KernelPoint {
+		return KernelPoint{Design: design, Rate: 0.10, Width: w, Height: w, Parallelism: par, NsPerCycle: ns}
+	}
+	sbase := &KernelReport{Points: []KernelPoint{
+		scaled("NoRD", 16, 1, 100),
+		scaled("NoRD", 16, 4, 30),
+		scaled("No_PG", 16, 4, 30),
+	}}
+	scur := &KernelReport{Points: []KernelPoint{
+		scaled("NoRD", 16, 1, 110), // fine
+		// whole (16, 4) group absent: not flagged
+	}}
+	if bad := scur.CompareBaseline(sbase, 0.75); len(bad) != 0 {
+		t.Fatalf("uncovered (width, parallelism) group flagged %v", bad)
+	}
+	scur.Points = append(scur.Points, scaled("NoRD", 16, 4, 31))
+	bad = scur.CompareBaseline(sbase, 0.75)
+	if len(bad) != 1 || !strings.Contains(bad[0], "No_PG") || !strings.Contains(bad[0], "missing") {
+		t.Fatalf("dropped cell in covered group not flagged: %v", bad)
 	}
 }
 

@@ -253,10 +253,12 @@ func RunSyntheticOpts(ctx context.Context, c SynthConfig, opt RunOptions) (Resul
 	if err != nil {
 		return Result{}, err
 	}
+	params.Parallelism = opt.Parallelism
 	net, err := noc.New(params)
 	if err != nil {
 		return Result{}, err
 	}
+	defer net.Close()
 	net.SetTracer(opt.Tracer)
 	sched := c.FaultSchedule
 	if sched == nil && c.Faults != nil {
@@ -400,10 +402,12 @@ func RunWorkloadOpts(ctx context.Context, c WorkloadConfig, opt RunOptions) (Res
 	if err != nil {
 		return Result{}, err
 	}
+	params.Parallelism = opt.Parallelism
 	net, err := noc.New(params)
 	if err != nil {
 		return Result{}, err
 	}
+	defer net.Close()
 	net.SetTracer(opt.Tracer)
 	sys, err := memsys.NewSystem(net, prof, c.Seed)
 	if err != nil {
@@ -528,10 +532,12 @@ func ReplayTraceOpts(ctx context.Context, c TraceConfig, tr *trace.Trace, opt Ru
 	if err != nil {
 		return Result{}, err
 	}
+	params.Parallelism = opt.Parallelism
 	net, err := noc.New(params)
 	if err != nil {
 		return Result{}, err
 	}
+	defer net.Close()
 	net.SetTracer(opt.Tracer)
 	rep := trace.NewReplayer(net, tr)
 	obs := newRunObserver(ctx, opt, net, 0)

@@ -63,6 +63,67 @@ type NoC struct {
 	BusyCycles  uint64
 }
 
+// Merge folds another collector into this one. The sharded parallel
+// kernel gives each spatial domain a private collector for everything
+// incremented inside a parallel phase, and folds them into the master at
+// serial points (measurement boundaries and report reads). Every counter
+// is a sum and every Sample holds integer-valued observations (exactly
+// representable in float64), so merging is exact and order-independent:
+// the folded totals are bit-identical to serial accumulation.
+// TestNoCMergeCoversAllFields keeps this in sync with the struct.
+func (n *NoC) Merge(o *NoC) {
+	n.Cycles += o.Cycles
+
+	n.PacketsInjected += o.PacketsInjected
+	n.PacketsDelivered += o.PacketsDelivered
+	n.FlitsDelivered += o.FlitsDelivered
+	n.PacketLatency.Merge(o.PacketLatency)
+	n.LatencyHist.Merge(o.LatencyHist)
+	n.NetworkLatency.Merge(o.NetworkLatency)
+	n.Hops.Merge(o.Hops)
+	n.MisroutedHops += o.MisroutedHops
+	n.EscapedPackets += o.EscapedPackets
+
+	n.Wakeups += o.Wakeups
+	n.GateOffs += o.GateOffs
+	n.WakeupStall.Merge(o.WakeupStall)
+
+	n.RouterOnCycles += o.RouterOnCycles
+	n.RouterOffCycles += o.RouterOffCycles
+	n.RouterWakingCycles += o.RouterWakingCycles
+
+	n.BufWrites += o.BufWrites
+	n.BufReads += o.BufReads
+	n.XbarTraversals += o.XbarTraversals
+	n.VAArbs += o.VAArbs
+	n.SAArbs += o.SAArbs
+	n.ClockedFlitHops += o.ClockedFlitHops
+	n.LinkTraversals += o.LinkTraversals
+	n.BypassHops += o.BypassHops
+	n.BypassInjections += o.BypassInjections
+	n.BypassEjections += o.BypassEjections
+
+	n.NIVCRequests += o.NIVCRequests
+
+	n.CorruptFlits += o.CorruptFlits
+	n.PoisonedPackets += o.PoisonedPackets
+	n.Retransmits += o.Retransmits
+	n.WakeupsDropped += o.WakeupsDropped
+	n.WatchdogWakeups += o.WatchdogWakeups
+
+	n.IdlePeriods.Merge(o.IdlePeriods)
+	n.IdleCycles += o.IdleCycles
+	n.BusyCycles += o.BusyCycles
+}
+
+// Reset zeroes the collector for reuse, keeping histogram allocations.
+func (n *NoC) Reset() {
+	lat, idle := n.LatencyHist, n.IdlePeriods
+	lat.Reset()
+	idle.Reset()
+	*n = NoC{LatencyHist: lat, IdlePeriods: idle}
+}
+
 // AvgVCRequestsPerWindow returns the mean windowed VC-request count per
 // node for the given window length (NoRD's wakeup metric, Section 4.3).
 func (n *NoC) AvgVCRequestsPerWindow(nodes, window int) float64 {

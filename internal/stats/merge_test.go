@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillNoC stamps every field of a collector with a distinct non-zero
+// value via reflection, failing the test on any field kind it does not
+// know how to populate — which is exactly what happens when a new field
+// is added to NoC without teaching Merge about it.
+func fillNoC(t *testing.T, n *NoC) {
+	t.Helper()
+	v := reflect.ValueOf(n).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		name := v.Type().Field(i).Name
+		switch f := v.Field(i).Addr().Interface().(type) {
+		case *uint64:
+			*f = uint64(i + 1)
+		case *Sample:
+			f.Add(float64(i + 1))
+			f.Add(float64(2 * (i + 1)))
+		case **Histogram:
+			(*f).Add(uint64(i + 1))
+			(*f).Add(uint64(i + 100)) // land one in the overflow bucket too
+		default:
+			t.Fatalf("NoC field %s has kind %T the merge test cannot populate; teach fillNoC (and NoC.Merge) about it", name, f)
+		}
+	}
+}
+
+// TestNoCMergeCoversAllFields is the guard referenced by NoC.Merge's doc
+// comment: merging a fully-populated collector into a zero one must
+// reproduce it exactly, field for field. A field added to the struct but
+// forgotten in Merge shows up here as a diverging field (or as an
+// unknown kind in fillNoC) — the sharded kernel's per-shard accumulators
+// rely on Merge being lossless.
+func TestNoCMergeCoversAllFields(t *testing.T) {
+	src := NewNoC(64)
+	fillNoC(t, src)
+
+	dst := NewNoC(64)
+	dst.Merge(src)
+
+	sv := reflect.ValueOf(src).Elem()
+	dv := reflect.ValueOf(dst).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		name := sv.Type().Field(i).Name
+		if !reflect.DeepEqual(sv.Field(i).Interface(), dv.Field(i).Interface()) {
+			t.Errorf("field %s not carried over by Merge: src %+v, merged %+v",
+				name, sv.Field(i).Interface(), dv.Field(i).Interface())
+		}
+	}
+
+	// Merging twice must double every counter (sums, not overwrites):
+	// catches a Merge clause written as assignment.
+	dst.Merge(src)
+	if dst.Cycles != 2*src.Cycles || dst.PacketLatency.N != 2*src.PacketLatency.N ||
+		dst.IdlePeriods.Count() != 2*src.IdlePeriods.Count() {
+		t.Errorf("second merge did not accumulate: %+v", dst)
+	}
+}

@@ -57,6 +57,9 @@ func (s *Sample) Merge(o Sample) {
 	s.Sum += o.Sum
 }
 
+// Reset clears the sample for reuse.
+func (s *Sample) Reset() { *s = Sample{} }
+
 // String implements fmt.Stringer.
 func (s *Sample) String() string {
 	return fmt.Sprintf("n=%d mean=%.2f min=%.0f max=%.0f", s.N, s.Mean(), s.Min, s.Max)
@@ -174,6 +177,17 @@ func (h *Histogram) Merge(o *Histogram) {
 	if o.max > h.max {
 		h.max = o.max
 	}
+}
+
+// Reset clears the histogram for reuse, keeping its bucket allocation.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.overflow = 0
+	h.count = 0
+	h.sum = 0
+	h.max = 0
 }
 
 // Percentile returns the smallest value v such that at least p (0..1) of

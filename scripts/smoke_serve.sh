@@ -91,6 +91,32 @@ echo "$METRICS" | grep -q '^nord_cache_hits_total 1$' || fail "expected one cach
 echo "$METRICS" | grep -q '^nord_cache_misses_total 1$' || fail "expected one cache miss"
 echo "$METRICS" | grep -q '^nord_jobs_total{state="done"} 1$' || fail "expected one done job"
 
+echo "== submitting a sharded (parallelism:4) job"
+PAR_JOB='{"kind":"synthetic","synthetic":{"design":"nord","width":8,"height":8,"pattern":"uniform","rate":0.05,"warmup":1000,"measure":20000,"seed":19,"parallelism":4}}'
+PSUB=$(curl -fsS "$BASE/v1/jobs" -d "$PAR_JOB")
+echo "   $PSUB"
+PJID=$(echo "$PSUB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$PJID" ] || fail "no parallel job id in $PSUB"
+PSTATE=""
+for _ in $(seq 1 100); do
+    PSTATUS=$(curl -fsS "$BASE/v1/jobs/$PJID")
+    PSTATE=$(echo "$PSTATUS" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    case "$PSTATE" in
+        done) break ;;
+        failed|canceled) fail "parallel job ended in state $PSTATE: $PSTATUS" ;;
+    esac
+    sleep 0.2
+done
+[ "$PSTATE" = done ] || fail "parallel job stuck in state '$PSTATE'"
+
+echo "== parallelism must be excluded from the cache key"
+# The very first job resubmitted with parallelism:4 — results are
+# bit-identical at any shard count, so it must hit the serial run's cache.
+JOB_P4='{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"pattern":"uniform","rate":0.05,"warmup":1000,"measure":20000,"seed":7,"parallelism":4}}'
+PHIT=$(curl -fsS "$BASE/v1/jobs" -d "$JOB_P4")
+echo "   $PHIT"
+echo "$PHIT" | grep -q '"cached":true' || fail "parallelism leaked into the cache key: $PHIT"
+
 echo "== submitting a traced job and streaming /trace"
 TRACED_JOB='{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"pattern":"uniform","rate":0.05,"warmup":1000,"measure":20000,"seed":7,"trace_events":true}}'
 TSUB=$(curl -fsS "$BASE/v1/jobs" -d "$TRACED_JOB")
