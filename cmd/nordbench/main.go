@@ -148,7 +148,11 @@ func main() {
 			}
 		}
 		if base != nil {
-			if bad := rep.CompareBaseline(base, *tolerance); len(bad) > 0 {
+			bad, notices := rep.CompareBaseline(base, *tolerance)
+			for _, msg := range notices {
+				fmt.Fprintf(os.Stderr, "notice: %s\n", msg)
+			}
+			if len(bad) > 0 {
 				failed = true
 				for _, msg := range bad {
 					fmt.Fprintf(os.Stderr, "baseline regression: %s\n", msg)

@@ -1,0 +1,231 @@
+// Command nordsearch submits a design-space search spec to a nordserved
+// instance (POST /v1/search), streams per-generation progress, and
+// renders the resulting Pareto front.
+//
+// Usage:
+//
+//	nordsearch -server http://localhost:8080 -spec search.json
+//	nordsearch -server ... -spec - -format csv < spec.json > front.csv
+//	nordsearch -server ... -spec spec.json -format front   # raw front JSON,
+//	    byte-identical across runs for a fixed seed
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"nord/internal/search"
+)
+
+func main() {
+	server := flag.String("server", "http://localhost:8080", "nordserved base URL")
+	specPath := flag.String("spec", "", "search spec JSON file (\"-\" = stdin); empty submits the default spec")
+	format := flag.String("format", "table", "output format: table, json (full result), front (raw front JSON), csv")
+	quiet := flag.Bool("quiet", false, "suppress the per-generation progress stream on stderr")
+	timeout := flag.Duration("timeout", 0, "overall wall-clock budget (0 = none)")
+	flag.Parse()
+
+	switch *format {
+	case "table", "json", "front", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "nordsearch: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+	spec, err := readSpec(*specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nordsearch: %v\n", err)
+		os.Exit(2)
+	}
+	client := &http.Client{}
+	if *timeout > 0 {
+		client.Timeout = *timeout
+	}
+
+	id, err := submit(client, *server, spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nordsearch: %v\n", err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "nordsearch: job %s submitted\n", id)
+		streamEvents(client, *server, id)
+	} else {
+		waitDone(client, *server, id)
+	}
+
+	res, err := fetchResult(client, *server, id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nordsearch: %v\n", err)
+		os.Exit(1)
+	}
+	if err := render(os.Stdout, *format, res); err != nil {
+		fmt.Fprintf(os.Stderr, "nordsearch: %v\n", err)
+		os.Exit(1)
+	}
+	if *format == "table" && !*quiet {
+		fmt.Fprintf(os.Stderr, "nordsearch: %d evaluations (%d cached), %d infeasible, front size %d\n",
+			res.Stats.Evaluations, res.Stats.CacheHits, res.Stats.Infeasible, len(res.Points))
+	}
+}
+
+func readSpec(path string) ([]byte, error) {
+	switch path {
+	case "":
+		return []byte("{}"), nil
+	case "-":
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// searchResult is the job result with the front kept raw: the "front"
+// bytes are the determinism unit (byte-identical across runs for a fixed
+// seed), so they must reach the output untouched by a re-marshal.
+type searchResult struct {
+	Result json.RawMessage // whole result, raw
+	Front  json.RawMessage
+	Points []search.Point
+	Stats  search.Stats
+}
+
+func submit(client *http.Client, server string, spec []byte) (string, error) {
+	resp, err := client.Post(server+"/v1/search", "application/json", bytes.NewReader(spec))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return "", fmt.Errorf("submit failed: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &sub); err != nil || sub.ID == "" {
+		return "", fmt.Errorf("bad submit response: %s", bytes.TrimSpace(body))
+	}
+	return sub.ID, nil
+}
+
+// streamEvents tails the job's NDJSON progress stream, printing one line
+// per generation; it returns when the stream ends (job terminal). Errors
+// are non-fatal — the final status fetch decides the outcome.
+func streamEvents(client *http.Client, server, id string) {
+	resp, err := client.Get(server + "/v1/jobs/" + id + "/events")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Done        bool   `json:"done"`
+			State       string `json:"state"`
+			Error       string `json:"error"`
+			Phase       string `json:"phase"`
+			Generation  int    `json:"generation"`
+			Generations int    `json:"generations"`
+			Evaluations int    `json:"evaluations"`
+			CacheHits   int    `json:"cache_hits"`
+			FrontSize   int    `json:"front_size"`
+		}
+		if json.Unmarshal(sc.Bytes(), &ev) != nil {
+			continue
+		}
+		switch {
+		case ev.Done:
+			fmt.Fprintf(os.Stderr, "nordsearch: job %s %s %s\n", id, ev.State, ev.Error)
+			return
+		case ev.Phase == "generation":
+			fmt.Fprintf(os.Stderr, "nordsearch: generation %d/%d: %d evaluations (%d cached), front %d\n",
+				ev.Generation, ev.Generations, ev.Evaluations, ev.CacheHits, ev.FrontSize)
+		}
+	}
+}
+
+// waitDone polls the job status until it is terminal (quiet mode).
+func waitDone(client *http.Client, server, id string) {
+	for {
+		resp, err := client.Get(server + "/v1/jobs/" + id)
+		if err != nil {
+			return
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return
+		}
+		switch st.State {
+		case "done", "failed", "canceled":
+			return
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fetchResult(client *http.Client, server, id string) (*searchResult, error) {
+	resp, err := client.Get(server + "/v1/jobs/" + id)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st struct {
+		State  string          `json:"state"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	if st.State != "done" {
+		return nil, fmt.Errorf("job %s %s: %s", id, st.State, st.Error)
+	}
+	var raw struct {
+		Front json.RawMessage `json:"front"`
+		Stats search.Stats    `json:"stats"`
+	}
+	if err := json.Unmarshal(st.Result, &raw); err != nil {
+		return nil, fmt.Errorf("decode result: %w", err)
+	}
+	out := &searchResult{Front: raw.Front, Stats: raw.Stats}
+	out.Result = st.Result
+	if err := json.Unmarshal(raw.Front, &out.Points); err != nil {
+		return nil, fmt.Errorf("decode front: %w", err)
+	}
+	return out, nil
+}
+
+func render(w io.Writer, format string, res *searchResult) error {
+	switch format {
+	case "front":
+		_, err := fmt.Fprintf(w, "%s\n", res.Front)
+		return err
+	case "json":
+		_, err := fmt.Fprintf(w, "%s\n", res.Result)
+		return err
+	case "csv":
+		return search.WriteFrontCSV(w, res.Points)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "DESIGN\tWIDTH\tVCS\tDEPTH\tGATE\tWAKE\tRATE\tLATENCY\tE/FLIT(pJ)\tAREA(mm2)\tGEN")
+	for _, p := range res.Points {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%.3f\t%.2f\t%.3f\t%.3f\t%d\n",
+			p.Config.Design, p.Config.Width, p.Config.VCs, p.Config.BufferDepth,
+			p.Config.GateIdle, p.Config.WakeThreshold, p.Config.Rate,
+			p.Objectives.LatencyCycles, p.Objectives.EnergyPerFlitPJ,
+			p.Objectives.AreaMM2, p.Generation)
+	}
+	return tw.Flush()
+}

@@ -81,6 +81,32 @@ func (m *Model) RouterArea(d Design) AreaBreakdown {
 	return a
 }
 
+// RouterAreaFor returns the per-router area for a non-reference
+// microarchitecture: buffer area scales linearly with the total
+// buffering per port (VCs x depth, reference 4 VCs x 5 flits), and
+// allocator area with the number of VCs arbitrated per port; the
+// crossbar, pipeline latches and control are port-bound and keep their
+// reference size. The power-gating switch is resized proportionally to
+// the gated block it powers, and the early-wakeup and bypass adders keep
+// their fixed proportions. Non-positive arguments select the reference
+// values, so RouterAreaFor(d, 0, 0) == RouterArea(d).
+func (m *Model) RouterAreaFor(d Design, vcsPerPort, bufferDepth int) AreaBreakdown {
+	a := m.RouterArea(d)
+	refGated := a.Buffers + a.Crossbar + a.Allocators + a.Other
+	vcs, depth := 4.0, 5.0
+	if vcsPerPort > 0 {
+		vcs = float64(vcsPerPort)
+	}
+	if bufferDepth > 0 {
+		depth = float64(bufferDepth)
+	}
+	a.Buffers *= vcs * depth / (4 * 5)
+	a.Allocators *= vcs / 4
+	gated := a.Buffers + a.Crossbar + a.Allocators + a.Other
+	a.PGSwitch *= gated / refGated
+	return a
+}
+
 // AreaOverheadVsConvPGOpt returns NoRD's fractional router area overhead
 // relative to Conv_PG_OPT (the paper reports 3.1%).
 func (m *Model) AreaOverheadVsConvPGOpt() float64 {

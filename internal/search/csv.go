@@ -1,0 +1,42 @@
+package search
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+)
+
+// WriteFrontCSV renders a Pareto front as CSV, one row per point, floats
+// at full round-trip precision.
+func WriteFrontCSV(w io.Writer, pts []Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"design", "topology", "width", "vcs", "buffer_depth", "gate_idle",
+		"wake_threshold", "rate", "latency_cycles", "energy_per_flit_pj",
+		"area_mm2", "generation", "cache_key",
+	}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			p.Config.Design,
+			p.Config.Topology,
+			strconv.Itoa(p.Config.Width),
+			strconv.Itoa(p.Config.VCs),
+			strconv.Itoa(p.Config.BufferDepth),
+			strconv.Itoa(p.Config.GateIdle),
+			strconv.Itoa(p.Config.WakeThreshold),
+			f(p.Config.Rate),
+			f(p.Objectives.LatencyCycles),
+			f(p.Objectives.EnergyPerFlitPJ),
+			f(p.Objectives.AreaMM2),
+			strconv.Itoa(p.Generation),
+			p.CacheKey,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

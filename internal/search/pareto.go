@@ -1,0 +1,125 @@
+package search
+
+import (
+	"math"
+	"sort"
+)
+
+var inf = math.Inf(1)
+
+// dominates reports whether a Pareto-dominates b: no worse in every
+// objective and strictly better in at least one (all minimized).
+func dominates(a, b [3]float64) bool {
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// Dominates reports whether a Pareto-dominates b (all objectives
+// minimized) — exported for tests and downstream tooling.
+func Dominates(a, b Objectives) bool { return dominates(a.vector(), b.vector()) }
+
+// nondominatedFronts performs the NSGA-II fast non-dominated sort,
+// returning successive fronts of indices into vecs (front 0 is the
+// Pareto front). The O(n^2) pairwise pass is fine at search population
+// sizes.
+func nondominatedFronts(vecs [][3]float64) [][]int {
+	n := len(vecs)
+	domCount := make([]int, n)    // how many points dominate i
+	dominated := make([][]int, n) // points i dominates
+	var front []int
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			if i == k {
+				continue
+			}
+			if dominates(vecs[i], vecs[k]) {
+				dominated[i] = append(dominated[i], k)
+			} else if dominates(vecs[k], vecs[i]) {
+				domCount[i]++
+			}
+		}
+		if domCount[i] == 0 {
+			front = append(front, i)
+		}
+	}
+	var fronts [][]int
+	for len(front) > 0 {
+		fronts = append(fronts, front)
+		var next []int
+		for _, i := range front {
+			for _, k := range dominated[i] {
+				domCount[k]--
+				if domCount[k] == 0 {
+					next = append(next, k)
+				}
+			}
+		}
+		front = next
+	}
+	return fronts
+}
+
+// crowdingDistances computes the NSGA-II crowding distance for one front
+// (indices into vecs); boundary points get +Inf so extremes survive
+// environmental selection.
+func crowdingDistances(front []int, vecs [][3]float64) map[int]float64 {
+	dist := make(map[int]float64, len(front))
+	for _, i := range front {
+		dist[i] = 0
+	}
+	if len(front) <= 2 {
+		for _, i := range front {
+			dist[i] = inf
+		}
+		return dist
+	}
+	order := make([]int, len(front))
+	for m := 0; m < 3; m++ {
+		copy(order, front)
+		sort.Slice(order, func(a, b int) bool {
+			if vecs[order[a]][m] != vecs[order[b]][m] {
+				return vecs[order[a]][m] < vecs[order[b]][m]
+			}
+			return order[a] < order[b]
+		})
+		lo, hi := vecs[order[0]][m], vecs[order[len(order)-1]][m]
+		dist[order[0]] = inf
+		dist[order[len(order)-1]] = inf
+		if hi == lo {
+			continue
+		}
+		for k := 1; k < len(order)-1; k++ {
+			if dist[order[k]] == inf {
+				continue
+			}
+			dist[order[k]] += (vecs[order[k+1]][m] - vecs[order[k-1]][m]) / (hi - lo)
+		}
+	}
+	return dist
+}
+
+// paretoFilter returns the indices of the non-dominated members of vecs.
+func paretoFilter(vecs [][3]float64) []int {
+	var out []int
+	for i := range vecs {
+		dominatedBy := false
+		for k := range vecs {
+			if k != i && dominates(vecs[k], vecs[i]) {
+				dominatedBy = true
+				break
+			}
+		}
+		if !dominatedBy {
+			out = append(out, i)
+		}
+	}
+	return out
+}

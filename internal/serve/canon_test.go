@@ -12,8 +12,10 @@ import (
 // refactor (field reordering, map iteration, default-filling changes that
 // keep the same filled values) alters them, every previously cached
 // result would be orphaned — so a change here must be deliberate.
+// (Deliberately rotated when SynthConfig gained VCsPerClass/BufferDepth/
+// GateIdleCycles: filled configs now carry those fields.)
 const (
-	goldenSynthKey    = "972216d5fdd9b80e9bac8e33543465350ab8c26a12b30ca2bf4a49909377fd68"
+	goldenSynthKey    = "c47ad37775d0e1b328f4178e5cd6f85174e0b95e6858a146a802d56c896bdb52"
 	goldenWorkloadKey = "0360f9816fae68ea13f7043a30a09d8e0cc179272b6fb1c4bdbb375bf3be8a5a"
 )
 

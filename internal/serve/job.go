@@ -49,9 +49,20 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+	// done closes when the job reaches a terminal state, so search
+	// evaluations (and other in-process waiters) can select on completion
+	// without polling.
+	done chan struct{}
 
-	mu        sync.Mutex
-	state     JobState
+	mu    sync.Mutex
+	state JobState
+	// ephemeral marks a job created on behalf of a search evaluation and
+	// not (yet) claimed by any direct submission; waiters counts the
+	// search evaluations currently waiting on it. When the last waiter
+	// abandons a still-ephemeral job (its search was canceled), the job
+	// itself is canceled — nobody wants the result anymore.
+	ephemeral bool
+	waiters   int
 	cacheHit  bool
 	result    []byte
 	errMsg    string
@@ -71,13 +82,14 @@ type Job struct {
 func newJob(id string, t *task) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Job{
-		ID:      id,
-		Key:     t.key,
-		Kind:    t.kind,
-		Created: time.Now(),
-		task:    t,
-		ctx:     ctx,
-		cancel:  cancel,
+		ID:        id,
+		Key:       t.key,
+		Kind:      t.kind,
+		Created:   time.Now(),
+		task:      t,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
 		state:     JobQueued,
 		subs:      map[chan stats.Progress]struct{}{},
 		traceSubs: map[chan []obs.Event]struct{}{},
@@ -152,7 +164,40 @@ func (j *Job) finish(state JobState, result []byte, errMsg string) bool {
 		close(ch)
 	}
 	j.traceSubs = map[chan []obs.Event]struct{}{}
+	close(j.done)
 	return true
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// retain registers a search evaluation as a waiter on this job.
+func (j *Job) retain() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.waiters++
+}
+
+// release drops one waiter. When the last waiter leaves a job that is
+// still ephemeral (created for searches only, never claimed by a direct
+// submission) and not yet terminal, the job is canceled: a canceled
+// search must not leave its child evaluations burning workers.
+func (j *Job) release() {
+	j.mu.Lock()
+	j.waiters--
+	abandon := j.waiters == 0 && j.ephemeral && !j.state.Terminal()
+	j.mu.Unlock()
+	if abandon {
+		j.Cancel()
+	}
+}
+
+// claimShared clears the ephemeral flag: a direct client submission
+// coalesced onto this job, so it must outlive any search that spawned it.
+func (j *Job) claimShared() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.ephemeral = false
 }
 
 // completeFromCache marks the job done with a memoized result.

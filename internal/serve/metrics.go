@@ -27,6 +27,17 @@ type Metrics struct {
 	CacheMisses   atomic.Uint64
 	SimCycles     atomic.Uint64 // cumulative simulated cycles across all jobs
 
+	// Design-space search (POST /v1/search) counters: candidate
+	// evaluations submitted by search drivers, how many of those were
+	// served from the content-addressed cache (in-flight coalescing
+	// included), and completed search generations. SearchFrontSize is a
+	// gauge holding the Pareto-front size of the most recently completed
+	// search.
+	SearchEvaluations atomic.Uint64
+	SearchCacheHits   atomic.Uint64
+	SearchGenerations atomic.Uint64
+	SearchFrontSize   atomic.Uint64
+
 	// Per-design counters, indexed by noc.Design: router wakeups and
 	// misrouted (detoured) hops measured by completed single-run jobs.
 	// Sweeps do not contribute (their cells span designs).
@@ -79,6 +90,18 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "# HELP nord_sim_cycles_total Cumulative simulated cycles across all jobs.\n")
 	fmt.Fprintf(w, "# TYPE nord_sim_cycles_total counter\n")
 	fmt.Fprintf(w, "nord_sim_cycles_total %d\n", m.SimCycles.Load())
+	fmt.Fprintf(w, "# HELP nord_search_evaluations_total Candidate evaluations submitted by design-space searches.\n")
+	fmt.Fprintf(w, "# TYPE nord_search_evaluations_total counter\n")
+	fmt.Fprintf(w, "nord_search_evaluations_total %d\n", m.SearchEvaluations.Load())
+	fmt.Fprintf(w, "# HELP nord_search_cache_hits_total Search candidate evaluations served from the content-addressed cache or coalesced onto in-flight jobs.\n")
+	fmt.Fprintf(w, "# TYPE nord_search_cache_hits_total counter\n")
+	fmt.Fprintf(w, "nord_search_cache_hits_total %d\n", m.SearchCacheHits.Load())
+	fmt.Fprintf(w, "# HELP nord_search_generations_total Completed search generations.\n")
+	fmt.Fprintf(w, "# TYPE nord_search_generations_total counter\n")
+	fmt.Fprintf(w, "nord_search_generations_total %d\n", m.SearchGenerations.Load())
+	fmt.Fprintf(w, "# HELP nord_search_front_size Pareto-front size of the most recently completed search.\n")
+	fmt.Fprintf(w, "# TYPE nord_search_front_size gauge\n")
+	fmt.Fprintf(w, "nord_search_front_size %d\n", m.SearchFrontSize.Load())
 	fmt.Fprintf(w, "# HELP nord_sim_wakeups_total Router wakeups measured by completed runs, by design.\n")
 	fmt.Fprintf(w, "# TYPE nord_sim_wakeups_total counter\n")
 	for _, d := range metricDesigns {

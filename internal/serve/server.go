@@ -78,6 +78,16 @@ type Config struct {
 	// A run that exceeds it is failed — not canceled — so a runaway
 	// simulation cannot pin a worker forever.
 	JobDeadline time.Duration
+	// MaxSearches bounds concurrently running design-space searches
+	// (default 4). Searches run on dedicated goroutines — not in the
+	// worker pool — so their candidate evaluations always have pool
+	// capacity to land on; this cap is the backpressure that replaces the
+	// queue bound for them.
+	MaxSearches int
+	// SearchConcurrency bounds in-flight candidate evaluations per search
+	// (default: the worker count). More concurrency than workers only
+	// deepens the queue.
+	SearchConcurrency int
 	// Dispatcher, when non-nil, builds the job dispatcher from the
 	// constructed server (e.g. a fleet coordinator wiring its execution
 	// callbacks); nil selects the in-process Scheduler.
@@ -106,6 +116,12 @@ func (c *Config) fill() {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.MaxSearches == 0 {
+		c.MaxSearches = 4
+	}
+	if c.SearchConcurrency == 0 {
+		c.SearchConcurrency = c.Workers
+	}
 }
 
 // Server is the simulation job service: dispatcher, cache, metrics and
@@ -124,8 +140,34 @@ type Server struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand // Retry-After jitter
 
+	// Running design-space searches: counted against Config.MaxSearches
+	// and waited for on shutdown (their goroutines live outside the
+	// dispatcher's pool).
+	searches searchCount
+	searchWG sync.WaitGroup
+
 	draining atomic.Bool
 }
+
+// searchCount is an admission-bounded counter for running searches.
+type searchCount struct {
+	n atomic.Int64
+}
+
+// tryAcquire admits one search unless the cap is already reached.
+func (c *searchCount) tryAcquire(max int) bool {
+	for {
+		n := c.n.Load()
+		if n >= int64(max) {
+			return false
+		}
+		if c.n.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (c *searchCount) release() { c.n.Add(-1) }
 
 // New builds a Server from cfg.
 func New(cfg Config) (*Server, error) {
@@ -155,6 +197,7 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 // Handler returns the HTTP API:
 //
 //	POST   /v1/jobs             submit a job (202; 200 on cache hit; 429 when full)
+//	POST   /v1/search           submit a design-space search (202; 429 at MaxSearches)
 //	GET    /v1/jobs             list job summaries
 //	GET    /v1/jobs/{id}        job status + result when done
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
@@ -165,6 +208,7 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -179,11 +223,21 @@ func (s *Server) Handler() http.Handler {
 // balancers stop routing here.
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
-// Shutdown drains gracefully: intake stops, queued and running jobs get
-// until ctx's deadline to finish, then stragglers are canceled and given
-// a short grace period to unwind.
+// Shutdown drains gracefully: intake stops, running searches are
+// canceled first (they feed the dispatcher, so they must stop producing
+// before it closes), then queued and running jobs get until ctx's
+// deadline to finish, then stragglers are canceled and given a short
+// grace period to unwind.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.BeginDrain()
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		if j.Kind == "search" {
+			j.Cancel()
+		}
+	}
+	s.mu.Unlock()
+	s.searchWG.Wait()
 	s.disp.Close()
 	if err := s.disp.Wait(ctx); err == nil {
 		return nil
@@ -225,32 +279,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	// In-flight or completed job for the same content address: coalesce.
-	if j, ok := s.byKey[t.key]; ok {
-		s.metrics.CacheHits.Add(1)
-		s.metrics.JobsSubmitted.Add(1)
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, submitResponse{ID: j.ID, Key: j.Key, State: j.State(), Cached: true})
-		return
-	}
-	// Memoized result (possibly spilled to disk by an earlier eviction).
-	// Traced jobs always execute: a cached Result has no event stream.
-	if val, ok := s.cache.Get(t.key); ok && !t.traced {
-		j := s.newJobLocked(t)
-		j.completeFromCache(val)
-		s.metrics.CacheHits.Add(1)
-		s.metrics.JobsSubmitted.Add(1)
-		s.metrics.JobsDone.Add(1)
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, submitResponse{ID: j.ID, Key: j.Key, State: JobDone, Cached: true})
-		return
-	}
-	j := s.newJobLocked(t)
-	if err := s.disp.Submit(j); err != nil {
-		delete(s.jobs, j.ID)
-		delete(s.byKey, j.Key)
-		s.mu.Unlock()
+	j, served, err := s.submitTask(t, false)
+	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
 			s.metrics.JobsRejected.Add(1)
 			s.rngMu.Lock()
@@ -263,10 +293,56 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
+	if served {
+		writeJSON(w, http.StatusOK, submitResponse{ID: j.ID, Key: j.Key, State: j.State(), Cached: true})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, Key: j.Key, State: JobQueued, Cached: false})
+}
+
+// submitTask indexes and dispatches a resolved task: singleflight
+// coalescing onto a live job for the same content address, then the
+// memoized-result cache, then a fresh dispatch. served reports whether
+// the request was satisfied without a new execution (coalesced or served
+// from cache). ephemeral marks jobs created on behalf of a search
+// evaluation: they are canceled if every waiting search abandons them,
+// but are upgraded to ordinary jobs the moment a direct submission
+// coalesces onto them.
+func (s *Server) submitTask(t *task, ephemeral bool) (j *Job, served bool, err error) {
+	s.mu.Lock()
+	// In-flight or completed job for the same content address: coalesce.
+	if j, ok := s.byKey[t.key]; ok {
+		if !ephemeral {
+			j.claimShared()
+		}
+		s.metrics.CacheHits.Add(1)
+		s.metrics.JobsSubmitted.Add(1)
+		s.mu.Unlock()
+		return j, true, nil
+	}
+	// Memoized result (possibly spilled to disk by an earlier eviction).
+	// Traced jobs always execute: a cached Result has no event stream.
+	if val, ok := s.cache.Get(t.key); ok && !t.traced {
+		j := s.newJobLocked(t)
+		j.completeFromCache(val)
+		s.metrics.CacheHits.Add(1)
+		s.metrics.JobsSubmitted.Add(1)
+		s.metrics.JobsDone.Add(1)
+		s.mu.Unlock()
+		return j, true, nil
+	}
+	j = s.newJobLocked(t)
+	j.ephemeral = ephemeral
+	if err := s.disp.Submit(j); err != nil {
+		delete(s.jobs, j.ID)
+		delete(s.byKey, j.Key)
+		s.mu.Unlock()
+		return nil, false, err
+	}
 	s.metrics.CacheMisses.Add(1)
 	s.metrics.JobsSubmitted.Add(1)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, Key: j.Key, State: JobQueued, Cached: false})
+	return j, false, nil
 }
 
 // newJobLocked allocates a job ID and indexes the job; s.mu must be held.

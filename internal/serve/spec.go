@@ -44,6 +44,15 @@ type SyntheticSpec struct {
 	ForcedOff     bool    `json:"forced_off"`
 	TraceEvents   bool    `json:"trace_events,omitempty"`
 	Parallelism   int     `json:"parallelism,omitempty"`
+	// Microarchitecture and power-gating knobs, exposed for the
+	// design-space search (POST /v1/search); 0 selects the Table 1
+	// defaults (4 VCs, 5-flit buffers, gate after 2 idle cycles, wakeup
+	// thresholds 1/6).
+	VCs            int `json:"vcs,omitempty"`
+	BufferDepth    int `json:"buffer_depth,omitempty"`
+	GateIdle       int `json:"gate_idle,omitempty"`
+	ThresholdPerf  int `json:"threshold_perf,omitempty"`
+	ThresholdPower int `json:"threshold_power,omitempty"`
 }
 
 // WorkloadSpec requests one PARSEC-like full-system run (sim.RunWorkload).
@@ -227,18 +236,35 @@ func (sp *SyntheticSpec) resolve() (*task, error) {
 	if sp.Parallelism < 0 {
 		return nil, fmt.Errorf("negative parallelism %d (0 = serial)", sp.Parallelism)
 	}
+	if sp.VCs < 0 || sp.BufferDepth < 0 || sp.GateIdle < 0 ||
+		sp.ThresholdPerf < 0 || sp.ThresholdPower < 0 {
+		return nil, fmt.Errorf("negative microarchitecture knob (vcs, buffer_depth, gate_idle, threshold_perf, threshold_power must be >= 0)")
+	}
+	if minVCs := 2; sp.VCs > 0 {
+		if design == noc.NoRD {
+			minVCs = 3
+		}
+		if sp.VCs < minVCs {
+			return nil, fmt.Errorf("design %v needs at least %d VCs per class, got %d", design, minVCs, sp.VCs)
+		}
+	}
 	cfg := sim.SynthConfig{
-		Design:        design,
-		Width:         sp.Width,
-		Height:        sp.Height,
-		Pattern:       sp.Pattern,
-		Rate:          sp.Rate,
-		Warmup:        warmup,
-		Measure:       sp.Measure,
-		Seed:          sp.Seed,
-		WakeupLatency: sp.WakeupLatency,
-		NoPerfCentric: sp.NoPerfCentric,
-		ForcedOff:     sp.ForcedOff,
+		Design:         design,
+		Width:          sp.Width,
+		Height:         sp.Height,
+		Pattern:        sp.Pattern,
+		Rate:           sp.Rate,
+		Warmup:         warmup,
+		Measure:        sp.Measure,
+		Seed:           sp.Seed,
+		WakeupLatency:  sp.WakeupLatency,
+		NoPerfCentric:  sp.NoPerfCentric,
+		ForcedOff:      sp.ForcedOff,
+		VCsPerClass:    sp.VCs,
+		BufferDepth:    sp.BufferDepth,
+		GateIdleCycles: sp.GateIdle,
+		ThresholdPerf:  sp.ThresholdPerf,
+		ThresholdPower: sp.ThresholdPower,
 	}.Filled()
 	key, err := taskKey("synthetic", sp.TraceEvents, cfg)
 	if err != nil {
@@ -260,6 +286,37 @@ func (sp *SyntheticSpec) resolve() (*task, error) {
 		b, err := json.Marshal(r)
 		return b, resultInfo(r), err
 	}}, nil
+}
+
+// syntheticSpecFor converts a filled SynthConfig back into its wire
+// spec — the search layer's bridge from genome-decoded candidates to
+// ordinary job submissions. Re-resolving the returned spec reproduces
+// the same filled config (and therefore the same cache key), because
+// fill() is idempotent and the search decoder only sets fields the wire
+// spec can express.
+func syntheticSpecFor(cfg sim.SynthConfig) *SyntheticSpec {
+	warmup := cfg.Warmup
+	if warmup < 0 {
+		warmup = 0
+	}
+	return &SyntheticSpec{
+		Design:         cfg.Design.String(),
+		Width:          cfg.Width,
+		Height:         cfg.Height,
+		Pattern:        cfg.Pattern,
+		Rate:           cfg.Rate,
+		Warmup:         &warmup,
+		Measure:        cfg.Measure,
+		Seed:           cfg.Seed,
+		WakeupLatency:  cfg.WakeupLatency,
+		NoPerfCentric:  cfg.NoPerfCentric,
+		ForcedOff:      cfg.ForcedOff,
+		VCs:            cfg.VCsPerClass,
+		BufferDepth:    cfg.BufferDepth,
+		GateIdle:       cfg.GateIdleCycles,
+		ThresholdPerf:  cfg.ThresholdPerf,
+		ThresholdPower: cfg.ThresholdPower,
+	}
 }
 
 func (sp *WorkloadSpec) resolve() (*task, error) {

@@ -98,15 +98,20 @@ func (p KernelPoint) Regressed() bool {
 
 // KernelReport is the BENCH_kernel.json document.
 type KernelReport struct {
-	Width     int           `json:"width"`
-	Height    int           `json:"height"`
-	Warmup    int           `json:"warmup_cycles"`
-	Measured  int           `json:"measured_cycles"`
-	Seed      int64         `json:"seed"`
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	Points    []KernelPoint `json:"points"`
+	Width     int    `json:"width"`
+	Height    int    `json:"height"`
+	Warmup    int    `json:"warmup_cycles"`
+	Measured  int    `json:"measured_cycles"`
+	Seed      int64  `json:"seed"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// HostCPUs records runtime.NumCPU() at capture time: parallel-point
+	// timings are only comparable between machines that can actually run
+	// that many shards concurrently. 0 means a baseline written before
+	// the field existed (unknown host).
+	HostCPUs int           `json:"host_cpus,omitempty"`
+	Points   []KernelPoint `json:"points"`
 }
 
 // Regressions returns the points that exceed the allocation budget.
@@ -152,7 +157,15 @@ func LoadKernelReport(r io.Reader) (*KernelReport, error) {
 // doesn't fail spuriously. Pre-sharding baseline points (no width /
 // parallelism fields) are normalised to 8x8 serial. Faster-than-baseline
 // points and points new in this report are fine.
-func (r *KernelReport) CompareBaseline(base *KernelReport, tol float64) []string {
+//
+// Parallel-point (P>1) timings are only compared when both reports were
+// captured on hosts with at least P CPUs: a baseline captured on a
+// 1-CPU container records honest speedups <= 1, and comparing a
+// multi-core run against it (or vice versa) asserts nothing about the
+// kernel. Skipped comparisons are returned as notices — logged, never a
+// silent pass — with an unknown host CPU count (a pre-field baseline)
+// treated as insufficient.
+func (r *KernelReport) CompareBaseline(base *KernelReport, tol float64) (bad, notices []string) {
 	type cell struct {
 		design      string
 		rate        float64
@@ -167,7 +180,12 @@ func (r *KernelReport) CompareBaseline(base *KernelReport, tol float64) []string
 		cur[cell{p.Design, p.Rate, w, par}] = p
 		covered[group{w, par}] = true
 	}
-	var bad []string
+	cpuStr := func(n int) string {
+		if n <= 0 {
+			return "unknown CPUs"
+		}
+		return fmt.Sprintf("%d CPUs", n)
+	}
 	for _, bp := range base.Points {
 		w, par := bp.norm()
 		p, ok := cur[cell{bp.Design, bp.Rate, w, par}]
@@ -181,12 +199,17 @@ func (r *KernelReport) CompareBaseline(base *KernelReport, tol float64) []string
 		if bp.NsPerCycle <= 0 {
 			continue
 		}
+		if par > 1 && (base.HostCPUs < par || r.HostCPUs < par) {
+			notices = append(notices, fmt.Sprintf("%s rate %.2f %dx%d P=%d: speedup_vs_serial not compared (baseline host has %s, this host %s; need >= %d)",
+				p.Design, p.Rate, w, w, par, cpuStr(base.HostCPUs), cpuStr(r.HostCPUs), par))
+			continue
+		}
 		if ratio := p.NsPerCycle / bp.NsPerCycle; ratio > 1+tol {
 			bad = append(bad, fmt.Sprintf("%s rate %.2f %dx%d P=%d: %.1f ns/cycle vs baseline %.1f (%.2fx, tolerance %.2fx)",
 				p.Design, p.Rate, w, w, par, p.NsPerCycle, bp.NsPerCycle, ratio, 1+tol))
 		}
 	}
-	return bad
+	return bad, notices
 }
 
 // KernelBench runs the kernel benchmark matrix in two parts: the legacy
@@ -216,6 +239,7 @@ func KernelBenchP(measure int, seed int64, maxP int, progress func(string)) (*Ke
 		Width: 8, Height: 8,
 		Warmup: KernelWarmup, Measured: measure, Seed: seed,
 		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		HostCPUs: runtime.NumCPU(),
 	}
 	for _, d := range FullDesigns() {
 		for _, rate := range KernelRates {

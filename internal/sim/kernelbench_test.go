@@ -92,7 +92,7 @@ func TestCompareBaseline(t *testing.T) {
 		pt("Conv_PG", 0.02, 1), // new cell: fine
 		// No_PG 0.02 dropped: flagged
 	}}
-	bad := cur.CompareBaseline(base, 0.75)
+	bad, _ := cur.CompareBaseline(base, 0.75)
 	if len(bad) != 2 {
 		t.Fatalf("got %d complaints, want 2: %v", len(bad), bad)
 	}
@@ -109,14 +109,14 @@ func TestCompareBaseline(t *testing.T) {
 		t.Fatalf("complaints do not cover the slowdown and the dropped cell: %v", bad)
 	}
 
-	if bad := base.CompareBaseline(base, 0); len(bad) != 0 {
+	if bad, _ := base.CompareBaseline(base, 0); len(bad) != 0 {
 		t.Fatalf("self-comparison flagged %v", bad)
 	}
 
 	// A zero-timing baseline point (hand-edited or truncated file) must
 	// not divide by zero or flag spuriously.
 	zero := &KernelReport{Points: []KernelPoint{pt("NoRD", 0.02, 0)}}
-	if bad := cur.CompareBaseline(zero, 0.75); len(bad) != 0 {
+	if bad, _ := cur.CompareBaseline(zero, 0.75); len(bad) != 0 {
 		t.Fatalf("zero-baseline point flagged %v", bad)
 	}
 
@@ -137,13 +137,64 @@ func TestCompareBaseline(t *testing.T) {
 		scaled("NoRD", 16, 1, 110), // fine
 		// whole (16, 4) group absent: not flagged
 	}}
-	if bad := scur.CompareBaseline(sbase, 0.75); len(bad) != 0 {
+	if bad, _ := scur.CompareBaseline(sbase, 0.75); len(bad) != 0 {
 		t.Fatalf("uncovered (width, parallelism) group flagged %v", bad)
 	}
 	scur.Points = append(scur.Points, scaled("NoRD", 16, 4, 31))
-	bad = scur.CompareBaseline(sbase, 0.75)
+	sbase.HostCPUs, scur.HostCPUs = 8, 8
+	bad, _ = scur.CompareBaseline(sbase, 0.75)
 	if len(bad) != 1 || !strings.Contains(bad[0], "No_PG") || !strings.Contains(bad[0], "missing") {
 		t.Fatalf("dropped cell in covered group not flagged: %v", bad)
+	}
+}
+
+// TestCompareBaselineHostCPUs covers the baseline blind spot: a P>1
+// timing is only compared when both the baseline and this run were
+// captured on hosts with at least P CPUs — a 1-CPU container's "speedup"
+// is honest serialization, not a kernel regression. The skip emits a
+// notice (logged, never a silent pass); an unknown host count (baseline
+// written before the field existed) also skips.
+func TestCompareBaselineHostCPUs(t *testing.T) {
+	scaled := func(design string, w, par int, ns float64) KernelPoint {
+		return KernelPoint{Design: design, Rate: 0.10, Width: w, Height: w, Parallelism: par, NsPerCycle: ns}
+	}
+	base := &KernelReport{HostCPUs: 1, Points: []KernelPoint{
+		scaled("NoRD", 16, 1, 100),
+		scaled("NoRD", 16, 4, 400), // serialized on the 1-CPU capture host
+	}}
+	cur := &KernelReport{HostCPUs: 8, Points: []KernelPoint{
+		scaled("NoRD", 16, 1, 100),
+		scaled("NoRD", 16, 4, 9000), // would be a 22x "regression" if compared
+	}}
+	bad, notices := cur.CompareBaseline(base, 0.75)
+	if len(bad) != 0 {
+		t.Fatalf("P=4 timing compared against a 1-CPU baseline: %v", bad)
+	}
+	if len(notices) != 1 || !strings.Contains(notices[0], "P=4") || !strings.Contains(notices[0], "not compared") {
+		t.Fatalf("skip did not produce a notice: %v", notices)
+	}
+
+	// Unknown baseline host (pre-field file): same skip, noticed.
+	base.HostCPUs = 0
+	if bad, notices := cur.CompareBaseline(base, 0.75); len(bad) != 0 || len(notices) != 1 {
+		t.Fatalf("unknown-host baseline: bad=%v notices=%v", bad, notices)
+	}
+
+	// Both hosts capable: the comparison bites again, no notice.
+	base.HostCPUs = 8
+	bad, notices = cur.CompareBaseline(base, 0.75)
+	if len(bad) != 1 || !strings.Contains(bad[0], "P=4") {
+		t.Fatalf("capable hosts must compare P>1 timings: bad=%v", bad)
+	}
+	if len(notices) != 0 {
+		t.Fatalf("unexpected notices: %v", notices)
+	}
+
+	// The serial point is always compared regardless of CPU counts.
+	cur.Points[0].NsPerCycle = 1000
+	base.HostCPUs = 1
+	if bad, _ := cur.CompareBaseline(base, 0.75); len(bad) != 1 || !strings.Contains(bad[0], "P=1") {
+		t.Fatalf("serial regression must be flagged on any host: %v", bad)
 	}
 }
 

@@ -85,6 +85,14 @@ type SynthConfig struct {
 	WakeupLatency int  // 0 selects the paper's 12 cycles
 	ForcedOff     bool // Figure 7 mode
 	Tech          power.Tech
+	// VCsPerClass / BufferDepth size the router microarchitecture when
+	// positive (Table 1 defaults: 4 VCs per class, 5-flit buffers; NoRD
+	// needs >= 3 VCs for its ring escape pair).
+	VCsPerClass int
+	BufferDepth int
+	// GateIdleCycles overrides the consecutive-idle-cycle count a router
+	// requires before gating off when positive (Section 4.3: 2).
+	GateIdleCycles int
 	// NoPerfCentric disables the asymmetric-threshold planner (ablation).
 	NoPerfCentric bool
 	// ThresholdPerf/ThresholdPower override the wakeup thresholds when
@@ -137,6 +145,15 @@ func (c *SynthConfig) fill() {
 	}
 	if c.Tech == (power.Tech{}) {
 		c.Tech = power.DefaultTech()
+	}
+	if c.VCsPerClass == 0 {
+		c.VCsPerClass = 4
+	}
+	if c.BufferDepth == 0 {
+		c.BufferDepth = 5
+	}
+	if c.GateIdleCycles == 0 {
+		c.GateIdleCycles = 2
 	}
 	if c.MisrouteCap == 0 {
 		c.MisrouteCap = -1
@@ -194,6 +211,15 @@ func (c *SynthConfig) buildParams(classes int) (noc.Params, error) {
 	p.Classes = classes
 	if c.WakeupLatency > 0 {
 		p.WakeupLatency = c.WakeupLatency
+	}
+	if c.VCsPerClass > 0 {
+		p.VCsPerClass = c.VCsPerClass
+	}
+	if c.BufferDepth > 0 {
+		p.BufferDepth = c.BufferDepth
+	}
+	if c.GateIdleCycles > 0 {
+		p.GateIdleCycles = c.GateIdleCycles
 	}
 	p.ForcedOff = c.ForcedOff
 	if c.ThresholdPerf > 0 {

@@ -17,4 +17,18 @@ type Progress struct {
 	PacketsDelivered uint64 `json:"packets_delivered"`
 	// InFlight is the number of packets injected but not yet delivered.
 	InFlight int `json:"in_flight"`
+
+	// Design-space search jobs (POST /v1/search) reuse the same stream
+	// with Phase "generation" and per-generation counters below; Cycle
+	// stays 0 so the server's cumulative simulated-cycle accounting only
+	// counts the underlying evaluation jobs.
+	Generation  int `json:"generation,omitempty"`
+	Generations int `json:"generations,omitempty"`
+	// Evaluations / CacheHits are cumulative candidate evaluations so far
+	// and how many of them were served from the content-addressed cache
+	// (or coalesced onto an in-flight job).
+	Evaluations int `json:"evaluations,omitempty"`
+	CacheHits   int `json:"cache_hits,omitempty"`
+	// FrontSize is the size of the current non-dominated front.
+	FrontSize int `json:"front_size,omitempty"`
 }

@@ -2,6 +2,8 @@
 # End-to-end smoke test for nordserved: boot the service on an ephemeral
 # port, submit a small 4x4 synthetic job, poll it to completion, resubmit
 # the identical request and assert a cache hit, sanity-check /metrics,
+# run a seeded design-space search twice through nordsearch (asserting a
+# byte-identical Pareto front and >= 90% child-cache hits on the rerun),
 # then drain the server with SIGTERM. A second phase boots a coordinator
 # with two fleet workers, kills one worker mid-job (SIGKILL, so no
 # graceful give-back) and asserts the lease expires, the job requeues,
@@ -142,6 +144,54 @@ echo "== checking per-design metrics"
 METRICS=$(curl -fsS "$BASE/metrics")
 echo "$METRICS" | grep -q '^nord_sim_wakeups_total{design="NoRD"} [1-9]' || fail "no NoRD wakeups counted"
 echo "$METRICS" | grep -q '^nord_sim_detours_total{design="No_PG"} 0$' || fail "missing zero-valued detour series"
+
+echo "== building nordsearch"
+SBIN="$WORKDIR/nordsearch"
+go build -o "$SBIN" ./cmd/nordsearch
+
+echo "== seeded design-space search (run 1)"
+SPEC="$WORKDIR/search.json"
+cat >"$SPEC" <<'EOF'
+{
+  "algorithm": "nsga2",
+  "seed": 3,
+  "generations": 2,
+  "population": 6,
+  "measure": 1000,
+  "space": {
+    "designs": ["NoRD", "Conv_PG"],
+    "widths": [4],
+    "vcs": [3, 4],
+    "buffer_depths": [2, 5],
+    "gate_idle": [2],
+    "wake_thresholds": [6],
+    "rates": [0.05, 0.15]
+  }
+}
+EOF
+"$SBIN" -server "$BASE" -spec "$SPEC" -format front -quiet >"$WORKDIR/front1.json" \
+    || fail "first search run failed"
+grep -q '"design":"NoRD"' "$WORKDIR/front1.json" || fail "no NoRD point on the Pareto front"
+grep -q '"cache_key"' "$WORKDIR/front1.json" || fail "front points carry no provenance"
+SMETRICS=$(curl -fsS "$BASE/metrics")
+EVALS1=$(echo "$SMETRICS" | sed -n 's/^nord_search_evaluations_total //p')
+HITS1=$(echo "$SMETRICS" | sed -n 's/^nord_search_cache_hits_total //p')
+[ -n "$EVALS1" ] && [ "$EVALS1" -gt 0 ] || fail "no search evaluations recorded: '$EVALS1'"
+
+echo "== seeded design-space search (run 2: byte-identical front, warm cache)"
+"$SBIN" -server "$BASE" -spec "$SPEC" -format front -quiet >"$WORKDIR/front2.json" \
+    || fail "second search run failed"
+cmp -s "$WORKDIR/front1.json" "$WORKDIR/front2.json" \
+    || fail "fixed-seed front not byte-identical across runs"
+SMETRICS=$(curl -fsS "$BASE/metrics")
+EVALS2=$(echo "$SMETRICS" | sed -n 's/^nord_search_evaluations_total //p')
+HITS2=$(echo "$SMETRICS" | sed -n 's/^nord_search_cache_hits_total //p')
+D_EVALS=$((EVALS2 - EVALS1))
+D_HITS=$((HITS2 - HITS1))
+[ "$D_EVALS" -gt 0 ] || fail "second search made no evaluations"
+[ $((D_HITS * 10)) -ge $((D_EVALS * 9)) ] \
+    || fail "second identical search hit the cache on $D_HITS/$D_EVALS evaluations, want >= 90%"
+echo "   search soak verified: identical fronts, $D_HITS/$D_EVALS cached evaluations"
 
 echo "== draining with SIGTERM"
 kill -TERM "$SRV_PID"
