@@ -61,17 +61,19 @@ func main() {
 		maxAttempts = flag.Int("max-attempts", 4, "coordinator: lease grants per job before it is failed")
 		retryBase   = flag.Duration("retry-base", 250*time.Millisecond, "coordinator: requeue backoff base")
 		retryMax    = flag.Duration("retry-max", 5*time.Second, "coordinator: requeue backoff cap")
+		journalDir  = flag.String("journal-dir", "", "coordinator: job journal directory — makes the coordinator crash-durable (empty disables)")
 
 		// Worker-mode flags.
 		coordinator = flag.String("coordinator", "", "worker: coordinator base URL (http://host:port)")
 		workerID    = flag.String("worker-id", "", "worker: fleet identity (default hostname-pid)")
 		slots       = flag.Int("slots", 1, "worker: jobs executed in parallel")
+		cacheTier   = flag.String("cache-tier", "", "worker: remote cache tier base URL (default the coordinator; \"none\" disables)")
 	)
 	flag.Parse()
 
 	switch *mode {
 	case "worker":
-		os.Exit(runWorker(*coordinator, *workerID, *slots))
+		os.Exit(runWorker(*coordinator, *workerID, *slots, *cacheTier))
 	case "local", "coordinator":
 	default:
 		fmt.Fprintf(os.Stderr, "nordserved: unknown -mode %q (local, coordinator, worker)\n", *mode)
@@ -91,6 +93,15 @@ func main() {
 		if localWorkers == 0 {
 			localWorkers = 1
 		}
+		var journal *fleet.Journal
+		if *journalDir != "" {
+			var err error
+			journal, err = fleet.OpenJournal(*journalDir, fleet.JournalOptions{})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nordserved: opening journal: %v\n", err)
+				os.Exit(1)
+			}
+		}
 		cfg.Dispatcher = func(s *serve.Server) serve.Dispatcher {
 			coord = fleet.NewCoordinator(s, fleet.Options{
 				LeaseTTL:     *leaseTTL,
@@ -100,6 +111,7 @@ func main() {
 				QueueDepth:   *queue,
 				LocalWorkers: localWorkers,
 				JobDeadline:  *jobDeadline,
+				Journal:      journal,
 			})
 			return coord
 		}
@@ -151,7 +163,7 @@ func main() {
 
 // runWorker runs worker mode until SIGTERM/SIGINT; in-flight jobs are
 // given back to the coordinator on the way out.
-func runWorker(coordinator, id string, slots int) int {
+func runWorker(coordinator, id string, slots int, cacheTier string) int {
 	if coordinator == "" {
 		fmt.Fprintln(os.Stderr, "nordserved: -mode worker needs -coordinator http://host:port")
 		return 2
@@ -167,6 +179,7 @@ func runWorker(coordinator, id string, slots int) int {
 		Coordinator: coordinator,
 		ID:          id,
 		Slots:       slots,
+		CacheTier:   cacheTier,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

@@ -2,7 +2,19 @@ package fleet
 
 import (
 	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
 	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -150,4 +162,509 @@ func TestFleetChaosExactlyOnce(t *testing.T) {
 	t.Logf("chaos run: %d leases, %d expiries, %d requeues, %d stale (%d accepted), %d local",
 		tf.coord.leasesGranted.Load(), tf.coord.leaseExpiries.Load(), tf.coord.requeues.Load(),
 		tf.coord.staleResults.Load(), tf.coord.staleAccepted.Load(), tf.coord.localJobs.Load())
+}
+
+// ---- crash-durable coordinator harness ----
+
+// durableFleet is the restartable counterpart of testFleet: a coordinator
+// with a journal and a cache spill directory, listening on a real (fixed)
+// address so a restarted incarnation can come back where its workers and
+// clients expect it. crash() emulates SIGKILL; boot() after crash() is the
+// recovery path under test.
+type durableFleet struct {
+	t          *testing.T
+	opts       Options
+	cfg        serve.Config
+	addr       string // pinned after the first boot
+	cacheDir   string
+	journalDir string
+
+	srv     *serve.Server
+	coord   *Coordinator
+	journal *Journal
+	hsrv    *http.Server
+	url     string
+	crashed bool
+}
+
+func startDurableFleet(t *testing.T, opts Options, cfg serve.Config) *durableFleet {
+	t.Helper()
+	df := &durableFleet{
+		t: t, opts: opts, cfg: cfg,
+		cacheDir:   t.TempDir(),
+		journalDir: t.TempDir(),
+	}
+	df.boot()
+	t.Cleanup(df.shutdown)
+	return df
+}
+
+// boot starts a fresh incarnation over the shared journal and cache
+// directories (the first call picks the address, later calls rebind it).
+func (df *durableFleet) boot() {
+	t := df.t
+	t.Helper()
+	jl, err := OpenJournal(df.journalDir, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := df.cfg
+	if cfg.CheckEvery == 0 {
+		cfg.CheckEvery = 64
+	}
+	if cfg.ProgressEvery == 0 {
+		cfg.ProgressEvery = 2000
+	}
+	cfg.CacheDir = df.cacheDir
+	opts := df.opts
+	opts.Journal = jl
+	var coord *Coordinator
+	cfg.Dispatcher = func(s *serve.Server) serve.Dispatcher {
+		coord = NewCoordinator(s, opts)
+		return coord
+	}
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/fleet/", coord.Handler())
+	mux.Handle("/", srv.Handler())
+	addr := df.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	for i := 0; ; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i >= 200 {
+			t.Fatalf("rebinding %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	df.addr = ln.Addr().String()
+	df.url = "http://" + df.addr
+	df.srv, df.coord, df.journal = srv, coord, jl
+	df.hsrv = &http.Server{Handler: mux}
+	go func() { _ = df.hsrv.Serve(ln) }()
+	df.crashed = false
+	// Drop pooled keep-alive connections to the dead incarnation: Go's
+	// transport does not retry non-idempotent requests on stale conns.
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// crash emulates SIGKILL as closely as one process can: the listener dies
+// mid-connection, the janitor stops, and the journal is wedged so the
+// dying incarnation can never append after the next one owns the files.
+// Worker processes are untouched — they survive real coordinator crashes
+// too, and their heartbeats against the restarted incarnation come back
+// StatusLost, exactly like production.
+func (df *durableFleet) crash() {
+	df.hsrv.Close()
+	df.coord.stopOnce.Do(func() { close(df.coord.stopJanitor) })
+	df.journal.disable()
+	df.crashed = true
+}
+
+// restart is crash-then-boot; callers that crashed already just boot().
+func (df *durableFleet) restart() {
+	df.t.Helper()
+	if !df.crashed {
+		df.crash()
+	}
+	df.boot()
+}
+
+func (df *durableFleet) shutdown() {
+	df.hsrv.Close()
+	if df.crashed {
+		return // nothing graceful left in a crashed incarnation
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := df.srv.Shutdown(ctx); err != nil {
+		df.t.Errorf("shutdown: %v", err)
+	}
+}
+
+// tierPutURL writes payload into the remote cache tier with its digest.
+func tierPutURL(t *testing.T, url, key string, payload []byte) int {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url+"/v1/cache/"+key, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256(payload)
+	req.Header.Set(serve.SumHeader, hex.EncodeToString(sum[:]))
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// healthzURL fetches /healthz and returns the HTTP code, the status field
+// and the degraded notes.
+func healthzURL(t *testing.T, url string) (int, string, []string) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status   string   `json:"status"`
+		Degraded []string `json:"degraded"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body.Status, body.Degraded
+}
+
+// hasNote reports whether any degraded note carries the given token.
+func hasNote(notes []string, token string) bool {
+	for _, n := range notes {
+		if strings.HasPrefix(n, token) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCoordinatorCrashRestartMidJob is the tentpole's headline scenario:
+// a journaled coordinator is killed while jobs are mid-flight on live
+// workers, restarts on the same address over the same journal and cache
+// directories, and every job — finished or not at the instant of death —
+// reaches done exactly once with bytes identical to a single-process run.
+// Clients keep polling their original job IDs across the crash and never
+// learn it happened.
+func TestCoordinatorCrashRestartMidJob(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     1200 * time.Millisecond,
+		PollWait:     200 * time.Millisecond,
+		JanitorEvery: 50 * time.Millisecond,
+		MaxAttempts:  12,
+		RetryBase:    20 * time.Millisecond,
+		RetryMax:     200 * time.Millisecond,
+		LocalWorkers: 2,
+		Seed:         11,
+	}
+	df := startDurableFleet(t, opts, serve.Config{})
+	startWorkerURL(t, df.url, "w1", 111, "")
+	startWorkerURL(t, df.url, "w2", 112, "")
+	waitFor(t, 10*time.Second, "2 live workers", func() bool { return df.coord.Workers() >= 2 })
+
+	// Three short jobs that finish before the crash, two long ones that
+	// are mid-flight when it hits.
+	bodies := []string{synthJob(41, 60_000), synthJob(42, 60_000), synthJob(43, 60_000),
+		synthJob(44, 600_000), synthJob(45, 600_000)}
+	ids := make([]string, len(bodies))
+	for i, b := range bodies {
+		ids[i] = mustSubmitURL(t, df.url, b)
+	}
+	for _, id := range ids[:3] {
+		waitJobStateURL(t, df.url, id, serve.JobDone, 120*time.Second)
+	}
+	waitFor(t, 60*time.Second, "a long job running at the crash instant", func() bool {
+		return getJobURL(t, df.url, ids[3]).State == serve.JobRunning ||
+			getJobURL(t, df.url, ids[4]).State == serve.JobRunning
+	})
+
+	df.crash()
+	df.boot()
+
+	// Every job lands done on the restarted incarnation, byte-identical.
+	for i, id := range ids {
+		st := waitJobStateURL(t, df.url, id, serve.JobDone, 180*time.Second)
+		if !bytes.Equal(st.Result, localPayload(t, bodies[i])) {
+			t.Errorf("job %s: result diverged from single-process run after crash recovery", id)
+		}
+	}
+
+	// Recovery accounting: everything journaled was either replayed
+	// terminal or requeued — nothing lost, nothing invented — and at least
+	// one job (a long one) was genuinely requeued and re-executed.
+	replayed, requeued := df.coord.journalReplayed.Load(), df.coord.journalRequeued.Load()
+	if replayed+requeued != uint64(len(bodies)) {
+		t.Errorf("recovery split replayed=%d requeued=%d, want %d total", replayed, requeued, len(bodies))
+	}
+	if requeued == 0 {
+		t.Error("no job was requeued on recovery despite crashing mid-flight")
+	}
+	if v := metricURL(t, df.url, "nord_fleet_journal_requeues_on_recovery_total"); uint64(v) != requeued {
+		t.Errorf("nord_fleet_journal_requeues_on_recovery_total=%v, want %d", v, requeued)
+	}
+
+	// Exactly-once across the process boundary: the restarted incarnation
+	// finished only the requeued jobs; replayed ones kept the dead
+	// process's terminal transition (rehydrated, not re-run).
+	m := df.srv.Metrics()
+	if done, failed, canceled := m.JobsDone.Load(), m.JobsFailed.Load(), m.JobsCanceled.Load(); done != requeued || failed != 0 || canceled != 0 {
+		t.Errorf("post-restart accounting done=%d failed=%d canceled=%d, want %d/0/0", done, failed, canceled, requeued)
+	}
+	t.Logf("crash recovery: %d replayed terminal, %d requeued, %d stale accepted",
+		replayed, requeued, df.coord.staleAccepted.Load())
+}
+
+// TestCacheCorruptionQuarantinedAndRecomputed corrupts a done job's spill
+// file between crash and restart: recovery must quarantine the bad bytes
+// (renamed *.corrupt, counted, never served), then requeue and recompute
+// the job to the identical payload. It also pins the workerless /healthz
+// degraded note along the way.
+func TestCacheCorruptionQuarantinedAndRecomputed(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     600 * time.Millisecond,
+		JanitorEvery: 20 * time.Millisecond,
+		LocalWorkers: 2,
+		Seed:         12,
+	}
+	df := startDurableFleet(t, opts, serve.Config{})
+
+	// Workerless: /healthz must say alive-but-degraded, not ok.
+	if code, status, notes := healthzURL(t, df.url); code != http.StatusOK || status != "degraded" || !hasNote(notes, "no_live_workers") {
+		t.Errorf("workerless healthz = %d %q %v, want 200 degraded + no_live_workers", code, status, notes)
+	}
+
+	body := synthJob(51, 60_000)
+	id := mustSubmitURL(t, df.url, body)
+	st := waitJobStateURL(t, df.url, id, serve.JobDone, 60*time.Second)
+	want := append([]byte(nil), st.Result...)
+
+	// Write-through made the result durable at Put time.
+	spill := filepath.Join(df.cacheDir, st.Key+".json")
+	if _, err := os.Stat(spill); err != nil {
+		t.Fatalf("done job's spill missing: %v", err)
+	}
+
+	df.crash()
+	good, err := os.ReadFile(spill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)-1] ^= 1
+	if err := os.WriteFile(spill, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	df.boot()
+
+	// Recovery found the corruption, quarantined it, and recomputed.
+	st2 := waitJobStateURL(t, df.url, id, serve.JobDone, 60*time.Second)
+	if !bytes.Equal(st2.Result, want) {
+		t.Error("recomputed result differs from the pre-crash payload")
+	}
+	qdata, err := os.ReadFile(spill + ".corrupt")
+	if err != nil {
+		t.Fatalf("corrupt spill not quarantined: %v", err)
+	}
+	if !bytes.Equal(qdata, bad) {
+		t.Error("quarantine mangled the evidence bytes")
+	}
+	if v := metricURL(t, df.url, "nord_cache_corrupt_quarantined_total"); v < 1 {
+		t.Errorf("nord_cache_corrupt_quarantined_total=%v, want >=1", v)
+	}
+	if requeued := df.coord.journalRequeued.Load(); requeued != 1 {
+		t.Errorf("journalRequeued=%d, want 1 (the corrupted done job)", requeued)
+	}
+	if replayed := df.coord.journalReplayed.Load(); replayed != 0 {
+		t.Errorf("journalReplayed=%d, want 0 (its payload was unrecoverable)", replayed)
+	}
+	// The recomputation refilled the spill with valid bytes.
+	if _, err := os.Stat(spill); err != nil {
+		t.Errorf("recomputed spill not rewritten: %v", err)
+	}
+}
+
+// TestCoordinatorRestartStaleLeaseResultAccepted pins epoch continuity: a
+// lease granted by the dead incarnation is reported against the restarted
+// one. The restarted coordinator has never issued that lease — epochs
+// resume above everything journaled, so it cannot collide with a fresh
+// grant — and the stale-success reconciliation path accepts the
+// deterministic payload instead of wasting the completed work.
+func TestCoordinatorRestartStaleLeaseResultAccepted(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     5 * time.Second,
+		PollWait:     100 * time.Millisecond,
+		JanitorEvery: 500 * time.Millisecond, // slow sweeps: the ghost must beat the local steal
+		MaxAttempts:  4,
+		Seed:         13,
+	}
+	df := startDurableFleet(t, opts, serve.Config{})
+
+	post := func(path string, body, out any) error {
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(df.url+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode == http.StatusOK {
+			return json.NewDecoder(resp.Body).Decode(out)
+		}
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+			return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+		}
+		return nil
+	}
+
+	// The ghost worker leases the job over the raw protocol and then the
+	// coordinator dies under it.
+	if err := post("/fleet/v1/register", RegisterRequest{WorkerID: "ghost"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	body := synthJob(61, 40_000)
+	id := mustSubmitURL(t, df.url, body)
+	var grant LeaseGrant
+	waitFor(t, 10*time.Second, "ghost lease grant", func() bool {
+		var g LeaseGrant
+		if err := post("/fleet/v1/lease", LeaseRequest{WorkerID: "ghost", WaitMs: 500}, &g); err == nil && g.JobID == id {
+			grant = g
+			return true
+		}
+		return false
+	})
+	preEpoch := df.coord.epochSnapshot()
+
+	df.crash()
+	df.boot()
+
+	// Epochs resumed above the journaled high-water mark.
+	if got := df.coord.epochSnapshot(); got < preEpoch {
+		t.Errorf("post-restart epoch %d below pre-crash %d: stale leases could collide", got, preEpoch)
+	}
+	// Re-register so the janitor does not steal the recovered job locally
+	// before the ghost's report lands.
+	if err := post("/fleet/v1/register", RegisterRequest{WorkerID: "ghost"}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ghost finished the run it started under the dead incarnation and
+	// reports with its pre-crash lease: stale, successful, deterministic —
+	// accepted.
+	payload := localPayload(t, body)
+	var rr ResultResponse
+	if err := post("/fleet/v1/result", ResultRequest{
+		WorkerID: "ghost", JobID: id, Lease: grant.Lease,
+		Outcome: serve.RemoteOutcome{Payload: payload},
+	}, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != StatusAccepted {
+		t.Fatalf("stale pre-crash result: status %q, want %q", rr.Status, StatusAccepted)
+	}
+	st := getJobURL(t, df.url, id)
+	if st.State != serve.JobDone || !bytes.Equal(st.Result, payload) {
+		t.Errorf("job after stale accept: state=%s, payload match=%v", st.State, bytes.Equal(st.Result, payload))
+	}
+	if got := df.coord.staleAccepted.Load(); got != 1 {
+		t.Errorf("staleAccepted=%d, want 1", got)
+	}
+	if done := df.srv.Metrics().JobsDone.Load(); done != 1 {
+		t.Errorf("JobsDone=%d, want exactly 1", done)
+	}
+}
+
+// TestFleetRemoteCacheHitZeroSimWork seeds the shared tier with a
+// payload, then hands the matching job to a fresh worker: the worker must
+// serve the tier's bytes without running the simulator at all.
+func TestFleetRemoteCacheHitZeroSimWork(t *testing.T) {
+	opts := Options{
+		LeaseTTL: 2 * time.Second,
+		// The placeholder below registers once and never heartbeats; a
+		// generous liveness window keeps the fleet "live" while the (slow
+		// under -race) reference payload is computed and seeded.
+		WorkerTTL:    120 * time.Second,
+		PollWait:     100 * time.Millisecond,
+		JanitorEvery: 50 * time.Millisecond,
+		Seed:         14,
+	}
+	tf := newTestFleet(t, opts, serve.Config{})
+
+	// A register-only placeholder keeps the fleet "live" so the submission
+	// queues for a lease instead of degrading to local execution, but it
+	// never leases — the job waits for the real worker.
+	resp, err := http.Post(tf.ts.URL+"/fleet/v1/register", "application/json",
+		strings.NewReader(`{"worker_id":"placeholder"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	body := synthJob(71, 200_000)
+	id := mustSubmit(t, tf, body)
+	key := getJob(t, tf, id).Key
+	payload := localPayload(t, body)
+	if code := tierPutURL(t, tf.ts.URL, key, payload); code != http.StatusNoContent {
+		t.Fatalf("seeding the tier: HTTP %d", code)
+	}
+
+	tw := startWorker(t, tf, "w1", 141)
+	st := waitJobState(t, tf, id, serve.JobDone, 60*time.Second)
+	if !bytes.Equal(st.Result, payload) {
+		t.Error("tier-served result differs from the seeded payload")
+	}
+	hits, misses, _, _, _, sims := tw.w.RemoteCacheStats()
+	if hits != 1 || sims != 0 {
+		t.Errorf("worker stats hits=%d misses=%d sims=%d, want 1 hit and ZERO simulations", hits, misses, sims)
+	}
+	if v := fleetMetric(t, tf, "nord_cache_remote_hits_total"); v < 1 {
+		t.Errorf("nord_cache_remote_hits_total=%v, want >=1", v)
+	}
+}
+
+// TestFleetCacheTierOutageDegradesGracefully points a worker's cache tier
+// at a server that fails every request: the job must still complete
+// byte-identically (the tier is an optimisation, never a dependency), the
+// write-back retries must be counted, and /healthz must advertise the
+// degraded tier while staying HTTP 200.
+func TestFleetCacheTierOutageDegradesGracefully(t *testing.T) {
+	opts := Options{
+		LeaseTTL:     2 * time.Second,
+		PollWait:     100 * time.Millisecond,
+		JanitorEvery: 50 * time.Millisecond,
+		Seed:         15,
+	}
+	tf := newTestFleet(t, opts, serve.Config{})
+	downTier := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "tier down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(downTier.Close)
+
+	tw := startWorkerURL(t, tf.ts.URL, "w1", 151, downTier.URL)
+	waitWorkers(t, tf, 1)
+
+	body := synthJob(81, 60_000)
+	id := mustSubmit(t, tf, body)
+	st := waitJobState(t, tf, id, serve.JobDone, 60*time.Second)
+	if !bytes.Equal(st.Result, localPayload(t, body)) {
+		t.Error("result computed under tier outage differs from local run")
+	}
+
+	_, _, puts, retries, errs, sims := tw.w.RemoteCacheStats()
+	if puts != 0 || retries == 0 || errs == 0 || sims != 1 {
+		t.Errorf("worker stats puts=%d retries=%d errs=%d sims=%d, want 0 puts, >0 retries/errs, 1 sim",
+			puts, retries, errs, sims)
+	}
+	if v := fleetMetric(t, tf, "nord_cache_remote_put_retries_total"); v < 1 {
+		t.Errorf("nord_cache_remote_put_retries_total=%v, want >=1", v)
+	}
+	if v := fleetMetric(t, tf, "nord_fleet_cache_tier_errors_total"); v < 1 {
+		t.Errorf("nord_fleet_cache_tier_errors_total=%v, want >=1", v)
+	}
+	code, status, notes := healthzURL(t, tf.ts.URL)
+	if code != http.StatusOK || status != "degraded" || !hasNote(notes, "cache_tier_degraded") {
+		t.Errorf("healthz under tier outage = %d %q %v, want 200 degraded + cache_tier_degraded", code, status, notes)
+	}
+	if hasNote(notes, "no_live_workers") {
+		t.Error("healthz claims no_live_workers with a live worker registered")
+	}
 }

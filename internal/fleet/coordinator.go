@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -52,10 +53,11 @@ type workerState struct {
 //	})
 //	mux.Handle("/fleet/", coord.Handler())
 type Coordinator struct {
-	opts  Options
-	srv   *serve.Server
-	local *serve.Scheduler
-	rng   *lockedRand
+	opts    Options
+	srv     *serve.Server
+	local   *serve.Scheduler
+	rng     *lockedRand
+	journal *Journal // nil when the coordinator is not crash-durable
 
 	mu      sync.Mutex
 	closed  bool
@@ -65,9 +67,10 @@ type Coordinator struct {
 	workers map[string]*workerState
 	wake    chan struct{} // closed+replaced to rouse parked lease polls
 
-	stopJanitor   chan struct{}
-	stopOnce      sync.Once
-	localCloseOne sync.Once
+	stopJanitor     chan struct{}
+	stopOnce        sync.Once
+	localCloseOne   sync.Once
+	journalCloseOne sync.Once
 
 	// Counters exposed at /metrics (nord_fleet_*).
 	leaseExpiries    atomic.Uint64
@@ -77,24 +80,95 @@ type Coordinator struct {
 	localJobs        atomic.Uint64
 	retriesExhausted atomic.Uint64
 	leasesGranted    atomic.Uint64
+
+	// Recovery accounting: jobs restored already-terminal from the journal,
+	// jobs requeued for re-execution, and journaled jobs whose records no
+	// longer restore (request schema drift — skipped, never crash the boot).
+	journalReplayed atomic.Uint64
+	journalRequeued atomic.Uint64
+	journalSkipped  atomic.Uint64
+
+	// Cache tier friction reported by workers on result reports: the
+	// cumulative error count and the time of the last one, which drives the
+	// cache_tier_degraded health note while errors are recent.
+	tierErrors    atomic.Uint64
+	lastTierErrNS atomic.Int64
 }
 
-// NewCoordinator builds a coordinator dispatching for srv. It starts the
-// lease-expiry janitor immediately.
+// NewCoordinator builds a coordinator dispatching for srv. When
+// opts.Journal is set it first replays the journal's recovered state —
+// terminal jobs are rehydrated (done payloads out of the result cache),
+// open jobs requeued in their original arrival order — so a coordinator
+// killed mid-fleet restarts with every accepted job still reaching a
+// terminal state exactly once. It starts the lease-expiry janitor once
+// recovery is complete.
 func NewCoordinator(srv *serve.Server, opts Options) *Coordinator {
 	opts.fill()
 	c := &Coordinator{
 		opts:        opts,
 		srv:         srv,
 		rng:         newLockedRand(opts.Seed),
+		journal:     opts.Journal,
 		jobs:        map[string]*fleetJob{},
 		workers:     map[string]*workerState{},
 		wake:        make(chan struct{}),
 		stopJanitor: make(chan struct{}),
 	}
-	c.local = serve.NewScheduler(opts.LocalWorkers, opts.LocalQueueDepth, srv.Exec)
+	// The local fallback pool journals the terminal transitions it drives:
+	// fleet jobs stolen onto it during a zero-worker window must not replay
+	// as open after a crash that already answered them.
+	c.local = serve.NewScheduler(opts.LocalWorkers, opts.LocalQueueDepth, func(j *serve.Job) {
+		srv.Exec(j)
+		c.journalTerm(j)
+	})
+	// Lease epochs resume above everything ever journaled, so a stale
+	// pre-crash lease ID can never collide with a fresh post-restart grant
+	// (the stale-result reconciliation path depends on the distinction).
+	c.epoch = c.journal.Epoch()
+	c.recover()
 	go c.janitor()
 	return c
+}
+
+// epochSnapshot reads the current lease epoch; tests use it to pin the
+// continuity guarantee across restarts.
+func (c *Coordinator) epochSnapshot() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// recover replays the journal's materialized state into the fleet queue
+// and the serve layer. Records that no longer restore (request schema
+// drift across versions) are counted and skipped — recovery must never
+// prevent the coordinator from booting.
+func (c *Coordinator) recover() {
+	for i := range c.journal.Recovered() {
+		rec := &c.journal.Recovered()[i]
+		if rec.State != JobStateOpen {
+			err := c.srv.RestoreTerminal(rec.ID, rec.Req, serve.JobState(rec.State), rec.Err)
+			switch {
+			case err == nil:
+				c.journalReplayed.Add(1)
+				continue
+			case !errors.Is(err, serve.ErrNoCachedResult):
+				c.journalSkipped.Add(1)
+				continue
+			}
+			// Done, but the payload is gone (cache evicted with no spill, or
+			// the spill was corrupt and quarantined). The run is
+			// deterministic: requeue and recompute the identical bytes.
+		}
+		j, err := c.srv.RestoreJob(rec.ID, rec.Req)
+		if err != nil {
+			c.journalSkipped.Add(1)
+			continue
+		}
+		c.journalRequeued.Add(1)
+		fj := &fleetJob{j: j, attempt: rec.Attempt}
+		c.jobs[j.ID] = fj
+		c.queue = append(c.queue, fj)
+	}
 }
 
 // Submit implements serve.Dispatcher. Traced jobs and trace replays
@@ -119,6 +193,9 @@ func (c *Coordinator) Submit(j *serve.Job) error {
 		c.mu.Unlock()
 		return serve.ErrQueueFull
 	}
+	// Journal before the job becomes grantable: a crash after this line
+	// replays the job as open and requeues it, never loses it.
+	c.journalSubmit(j)
 	fj := &fleetJob{j: j}
 	c.jobs[j.ID] = fj
 	c.queue = append(c.queue, fj)
@@ -128,11 +205,44 @@ func (c *Coordinator) Submit(j *serve.Job) error {
 }
 
 func (c *Coordinator) submitLocal(j *serve.Job) error {
+	c.journalSubmit(j)
 	if err := c.local.Submit(j); err != nil {
+		// The client sees this rejection (429/503); close out the journal
+		// entry so a restart does not resurrect a job that never ran.
+		if c.journal != nil && !j.Traced() && j.Kind != "trace" {
+			c.journal.Terminal(j.ID, string(serve.JobCanceled), "rejected at submit: "+err.Error())
+		}
 		return err
 	}
 	c.localJobs.Add(1)
 	return nil
+}
+
+// journalSubmit records a job's acceptance. Traced jobs and trace replays
+// are not journaled: their value is the live event stream, which cannot
+// be reconstructed after the process dies (the deterministic payload
+// could be, but nobody is left listening).
+func (c *Coordinator) journalSubmit(j *serve.Job) {
+	if j.Traced() || j.Kind == "trace" {
+		return
+	}
+	c.journal.Submit(j.ID, j.Key, j.RequestJSON())
+}
+
+// journalTerm records the terminal transition the caller just drove
+// through FinishRemote/DropCanceled/Exec. It reads the state off the job
+// rather than trusting the caller: the exactly-once finish may have been
+// won by a different path (a stale success racing a retry), and the
+// journal must record what the client will actually see.
+func (c *Coordinator) journalTerm(j *serve.Job) {
+	if c.journal == nil || j.Traced() || j.Kind == "trace" {
+		return
+	}
+	st := j.State()
+	if !st.Terminal() {
+		return
+	}
+	c.journal.Terminal(j.ID, string(st), j.FinalError())
 }
 
 // wakeLocked rouses every parked lease poll; c.mu must be held.
@@ -215,8 +325,35 @@ func (c *Coordinator) Wait(ctx context.Context) error {
 		return err
 	}
 	c.stopOnce.Do(func() { close(c.stopJanitor) })
+	// Every accepted job is terminal; compact and release the journal so
+	// the next process opens a snapshot instead of a long log.
+	c.journalCloseOne.Do(func() { _ = c.journal.Close() })
 	return nil
 }
+
+// HealthNotes implements serve.HealthNoter: the degraded-but-alive
+// conditions /healthz reports with HTTP 200 and status "degraded". Each
+// note leads with a stable machine-greppable token.
+func (c *Coordinator) HealthNotes() []string {
+	var notes []string
+	c.mu.Lock()
+	live := c.liveWorkersLocked(time.Now())
+	c.mu.Unlock()
+	if live == 0 {
+		notes = append(notes, "no_live_workers: jobs execute on the coordinator's local fallback pool")
+	}
+	if ns := c.lastTierErrNS.Load(); ns > 0 && time.Since(time.Unix(0, ns)) <= tierErrWindow {
+		notes = append(notes, "cache_tier_degraded: workers reported cache tier errors recently (computing locally, results still land)")
+	}
+	if c.journal.Broken() {
+		notes = append(notes, "journal_degraded: a journal write failed; jobs still run but are no longer crash-durable")
+	}
+	return notes
+}
+
+// tierErrWindow is how long after the last worker-reported cache tier
+// error /healthz keeps advertising cache_tier_degraded.
+const tierErrWindow = 60 * time.Second
 
 // ---- worker-facing protocol ----
 
@@ -324,6 +461,7 @@ func (c *Coordinator) grantLease(ctx context.Context, workerID string, wait time
 		// (handleSubmit holds s.mu across Submit).
 		for _, d := range drop {
 			c.srv.DropCanceled(d.j)
+			c.journalTerm(d.j)
 		}
 		if grant != nil {
 			return grant, true
@@ -390,9 +528,11 @@ func (c *Coordinator) leaseLocked(fj *fleetJob, workerID string, now time.Time) 
 	fj.lease = &lease{id: leaseID(c.epoch), worker: workerID, expires: now.Add(c.opts.LeaseTTL)}
 	c.leasesGranted.Add(1)
 	c.srv.CountExecution()
+	c.journal.Lease(fj.j.ID, c.epoch, workerID, fj.attempt)
 	return &LeaseGrant{
 		JobID:      fj.j.ID,
 		Lease:      fj.lease.id,
+		Key:        fj.j.Key,
 		Attempt:    fj.attempt,
 		DeadlineMs: c.opts.JobDeadline.Milliseconds(),
 		Request:    json.RawMessage(fj.j.RequestJSON()),
@@ -436,6 +576,15 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // acceptResult applies one result report to the lease state machine.
 func (c *Coordinator) acceptResult(req *ResultRequest) string {
+	// Fold the worker's cache tier telemetry before any lease arbitration:
+	// even a stale report carries real observations of tier health.
+	if req.CachePutRetries > 0 {
+		c.srv.Metrics().CacheRemotePutRetries.Add(uint64(req.CachePutRetries))
+	}
+	if req.CacheTierErrors > 0 {
+		c.tierErrors.Add(uint64(req.CacheTierErrors))
+		c.lastTierErrNS.Store(time.Now().UnixNano())
+	}
 	now := time.Now()
 	c.mu.Lock()
 	c.touchWorkerLocked(req.WorkerID, now)
@@ -457,6 +606,7 @@ func (c *Coordinator) acceptResult(req *ResultRequest) string {
 			c.staleAccepted.Add(1)
 			c.mu.Unlock()
 			c.srv.FinishRemote(fj.j, req.Outcome)
+			c.journalTerm(fj.j)
 			return StatusAccepted
 		}
 		c.staleResults.Add(1)
@@ -475,6 +625,7 @@ func (c *Coordinator) acceptResult(req *ResultRequest) string {
 	c.removeLocked(fj)
 	c.mu.Unlock()
 	c.srv.FinishRemote(fj.j, req.Outcome)
+	c.journalTerm(fj.j)
 	return StatusAccepted
 }
 
@@ -505,6 +656,7 @@ func (c *Coordinator) requeueLocked(fj *fleetJob, now time.Time) (exhausted bool
 	fj.readyAt = now.Add(Backoff(c.opts.RetryBase, c.opts.RetryMax, fj.attempt, c.rng.Float64()))
 	c.queue = append(c.queue, fj)
 	c.requeues.Add(1)
+	c.journal.Requeue(fj.j.ID, fj.attempt)
 	c.wakeLocked()
 	return false
 }
@@ -514,6 +666,7 @@ func (c *Coordinator) failExhausted(fj *fleetJob) {
 	c.srv.FinishRemote(fj.j, serve.RemoteOutcome{
 		Error: fmt.Sprintf("fleet: job abandoned after %d lease attempts (workers died or stalled); giving up", fj.attempt),
 	})
+	c.journalTerm(fj.j)
 }
 
 // ---- janitor ----
@@ -579,6 +732,7 @@ func (c *Coordinator) sweep(now time.Time) {
 	}
 	for _, fj := range dropped {
 		c.srv.DropCanceled(fj.j)
+		c.journalTerm(fj.j)
 	}
 	c.localJobs.Add(uint64(len(localRun)))
 }
@@ -624,4 +778,38 @@ func (c *Coordinator) WritePromTo(w io.Writer) {
 	fmt.Fprintf(w, "# HELP nord_fleet_retries_exhausted_total Jobs failed after exhausting their lease attempts.\n")
 	fmt.Fprintf(w, "# TYPE nord_fleet_retries_exhausted_total counter\n")
 	fmt.Fprintf(w, "nord_fleet_retries_exhausted_total %d\n", c.retriesExhausted.Load())
+	fmt.Fprintf(w, "# HELP nord_fleet_cache_tier_errors_total Cache tier errors reported by workers on result reports.\n")
+	fmt.Fprintf(w, "# TYPE nord_fleet_cache_tier_errors_total counter\n")
+	fmt.Fprintf(w, "nord_fleet_cache_tier_errors_total %d\n", c.tierErrors.Load())
+	if c.journal == nil {
+		return
+	}
+	st := c.journal.stats()
+	fmt.Fprintf(w, "# HELP nord_fleet_journal_appends_total Journal records appended (fsynced) since open.\n")
+	fmt.Fprintf(w, "# TYPE nord_fleet_journal_appends_total counter\n")
+	fmt.Fprintf(w, "nord_fleet_journal_appends_total %d\n", st.appends)
+	fmt.Fprintf(w, "# HELP nord_fleet_journal_append_errors_total Journal append failures (durability lost, jobs still run).\n")
+	fmt.Fprintf(w, "# TYPE nord_fleet_journal_append_errors_total counter\n")
+	fmt.Fprintf(w, "nord_fleet_journal_append_errors_total %d\n", st.appendErrors)
+	fmt.Fprintf(w, "# HELP nord_fleet_journal_snapshots_total Snapshot compactions (log truncations).\n")
+	fmt.Fprintf(w, "# TYPE nord_fleet_journal_snapshots_total counter\n")
+	fmt.Fprintf(w, "nord_fleet_journal_snapshots_total %d\n", st.snapshots)
+	fmt.Fprintf(w, "# HELP nord_fleet_journal_replayed_records_total Log records replayed at the last open.\n")
+	fmt.Fprintf(w, "# TYPE nord_fleet_journal_replayed_records_total counter\n")
+	fmt.Fprintf(w, "nord_fleet_journal_replayed_records_total %d\n", st.replayed)
+	fmt.Fprintf(w, "# HELP nord_fleet_journal_torn_tails_total Torn (partially written) log tails discarded on replay.\n")
+	fmt.Fprintf(w, "# TYPE nord_fleet_journal_torn_tails_total counter\n")
+	fmt.Fprintf(w, "nord_fleet_journal_torn_tails_total %d\n", st.tornTails)
+	fmt.Fprintf(w, "# HELP nord_fleet_journal_dup_terminals_total Duplicate terminal records tolerated on replay (first wins).\n")
+	fmt.Fprintf(w, "# TYPE nord_fleet_journal_dup_terminals_total counter\n")
+	fmt.Fprintf(w, "nord_fleet_journal_dup_terminals_total %d\n", st.dupTerms)
+	fmt.Fprintf(w, "# HELP nord_fleet_journal_replayed_jobs_total Jobs restored already-terminal from the journal at startup.\n")
+	fmt.Fprintf(w, "# TYPE nord_fleet_journal_replayed_jobs_total counter\n")
+	fmt.Fprintf(w, "nord_fleet_journal_replayed_jobs_total %d\n", c.journalReplayed.Load())
+	fmt.Fprintf(w, "# HELP nord_fleet_journal_requeues_on_recovery_total Journaled jobs requeued for re-execution at startup.\n")
+	fmt.Fprintf(w, "# TYPE nord_fleet_journal_requeues_on_recovery_total counter\n")
+	fmt.Fprintf(w, "nord_fleet_journal_requeues_on_recovery_total %d\n", c.journalRequeued.Load())
+	fmt.Fprintf(w, "# HELP nord_fleet_journal_recovery_skipped_total Journaled jobs whose records no longer restore (skipped at startup).\n")
+	fmt.Fprintf(w, "# TYPE nord_fleet_journal_recovery_skipped_total counter\n")
+	fmt.Fprintf(w, "nord_fleet_journal_recovery_skipped_total %d\n", c.journalSkipped.Load())
 }

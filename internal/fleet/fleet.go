@@ -73,6 +73,15 @@ type Options struct {
 	// JobDeadline is the per-execution wall-clock budget handed to
 	// workers in lease grants (0 = unbounded).
 	JobDeadline time.Duration
+	// Journal, when non-nil, makes the coordinator crash-durable: job
+	// submissions, lease grants, requeues and terminal transitions are
+	// appended to it, and NewCoordinator replays its recovered state —
+	// terminal jobs are rehydrated (done payloads from the result cache),
+	// open jobs requeued. Open it with OpenJournal over the same directory
+	// across restarts; the coordinator owns it from here and closes it in
+	// Wait. Traced jobs and trace replays are not journaled: their value
+	// is the live event stream, which cannot outlive the process.
+	Journal *Journal
 	// Seed drives the requeue jitter; 0 seeds from the clock.
 	Seed int64
 }

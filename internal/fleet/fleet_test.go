@@ -99,6 +99,7 @@ func (ct *chaosTransport) kill() {
 
 type testWorker struct {
 	id     string
+	w      *Worker
 	chaos  *chaosTransport
 	cancel context.CancelFunc
 	done   chan struct{}
@@ -107,11 +108,20 @@ type testWorker struct {
 // startWorker runs a fleet worker against tf until stopped (or test end).
 func startWorker(t *testing.T, tf *testFleet, id string, seed int64) *testWorker {
 	t.Helper()
+	return startWorkerURL(t, tf.ts.URL, id, seed, "")
+}
+
+// startWorkerURL is startWorker against an arbitrary coordinator URL (the
+// restartable crash-recovery harness is not an httptest.Server) with an
+// optional cache tier override ("" = the coordinator, "none" = disabled).
+func startWorkerURL(t *testing.T, url, id string, seed int64, cacheTier string) *testWorker {
+	t.Helper()
 	chaos := &chaosTransport{base: http.DefaultTransport}
 	w, err := NewWorker(WorkerOptions{
-		Coordinator:   tf.ts.URL,
+		Coordinator:   url,
 		ID:            id,
 		Client:        &http.Client{Transport: chaos},
+		CacheTier:     cacheTier,
 		ReconnectBase: 20 * time.Millisecond,
 		ReconnectMax:  250 * time.Millisecond,
 		CheckEvery:    64,
@@ -123,7 +133,7 @@ func startWorker(t *testing.T, tf *testFleet, id string, seed int64) *testWorker
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	tw := &testWorker{id: id, chaos: chaos, cancel: cancel, done: make(chan struct{})}
+	tw := &testWorker{id: id, w: w, chaos: chaos, cancel: cancel, done: make(chan struct{})}
 	go func() {
 		defer close(tw.done)
 		_ = w.Run(ctx)
@@ -165,7 +175,12 @@ type submitResp struct {
 
 func submitJob(t *testing.T, tf *testFleet, body string) (int, submitResp) {
 	t.Helper()
-	resp, err := http.Post(tf.ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	return submitJobURL(t, tf.ts.URL, body)
+}
+
+func submitJobURL(t *testing.T, url, body string) (int, submitResp) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +193,12 @@ func submitJob(t *testing.T, tf *testFleet, body string) (int, submitResp) {
 
 func mustSubmit(t *testing.T, tf *testFleet, body string) string {
 	t.Helper()
-	code, sr := submitJob(t, tf, body)
+	return mustSubmitURL(t, tf.ts.URL, body)
+}
+
+func mustSubmitURL(t *testing.T, url, body string) string {
+	t.Helper()
+	code, sr := submitJobURL(t, url, body)
 	if code != http.StatusAccepted && code != http.StatusOK {
 		t.Fatalf("submit: HTTP %d", code)
 	}
@@ -187,7 +207,12 @@ func mustSubmit(t *testing.T, tf *testFleet, body string) string {
 
 func getJob(t *testing.T, tf *testFleet, id string) serve.JobStatus {
 	t.Helper()
-	resp, err := http.Get(tf.ts.URL + "/v1/jobs/" + id)
+	return getJobURL(t, tf.ts.URL, id)
+}
+
+func getJobURL(t *testing.T, url, id string) serve.JobStatus {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/jobs/" + id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,9 +226,14 @@ func getJob(t *testing.T, tf *testFleet, id string) serve.JobStatus {
 
 func waitJobState(t *testing.T, tf *testFleet, id string, want serve.JobState, timeout time.Duration) serve.JobStatus {
 	t.Helper()
+	return waitJobStateURL(t, tf.ts.URL, id, want, timeout)
+}
+
+func waitJobStateURL(t *testing.T, url, id string, want serve.JobState, timeout time.Duration) serve.JobStatus {
+	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		st := getJob(t, tf, id)
+		st := getJobURL(t, url, id)
 		if st.State == want {
 			return st
 		}
@@ -237,7 +267,12 @@ func localPayload(t *testing.T, body string) []byte {
 
 func fleetMetric(t *testing.T, tf *testFleet, name string) float64 {
 	t.Helper()
-	resp, err := http.Get(tf.ts.URL + "/metrics")
+	return metricURL(t, tf.ts.URL, name)
+}
+
+func metricURL(t *testing.T, url, name string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}

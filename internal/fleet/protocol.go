@@ -39,6 +39,10 @@ type LeaseRequest struct {
 type LeaseGrant struct {
 	JobID string `json:"job_id"`
 	Lease string `json:"lease"`
+	// Key is the job's content-addressed cache key: the worker probes the
+	// shared cache tier (GET /v1/cache/{key}) before simulating and writes
+	// its result back after.
+	Key string `json:"key,omitempty"`
 	// Attempt is 1 for the first execution of this job.
 	Attempt int `json:"attempt"`
 	// DeadlineMs is the per-execution wall-clock budget (0 = unbounded).
@@ -93,6 +97,13 @@ type ResultRequest struct {
 	// mid-run): the coordinator requeues it instead of finalising.
 	Requeue bool                `json:"requeue,omitempty"`
 	Outcome serve.RemoteOutcome `json:"outcome"`
+	// CachePutRetries and CacheTierErrors report this execution's cache
+	// tier friction: write-back attempts that had to be retried, and tier
+	// requests that errored outright. The coordinator folds them into its
+	// metrics and uses recent tier errors to report a degraded /healthz —
+	// a flaky tier never fails a job, but it must not stay invisible.
+	CachePutRetries int `json:"cache_put_retries,omitempty"`
+	CacheTierErrors int `json:"cache_tier_errors,omitempty"`
 }
 
 // ResultResponse acknowledges a result report.

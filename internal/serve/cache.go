@@ -9,20 +9,24 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // spillMagic heads every spill file, followed by the hex sha256 of the
 // payload and a newline. Validating the digest on read means a torn
 // write (crash mid-spill on a filesystem that reorders data and rename),
-// truncation, or bit rot is detected and discarded instead of being
+// truncation, or bit rot is detected and quarantined instead of being
 // served as a result.
 const spillMagic = "nordspill1 "
 
 // Cache is the content-addressed result cache: an in-memory LRU over
 // canonical cache keys holding marshalled job results, with an optional
-// on-disk spill directory. Evicted entries are written to the spill
-// directory and transparently reloaded (and re-promoted) on a later miss,
-// so a small memory budget still serves a large working set.
+// on-disk spill directory. With a spill directory configured, every Put
+// writes through to disk — the disk copy is the durable tier a restarted
+// coordinator recovers terminal results from — and in-memory eviction is
+// then free (the evicted entry is already on disk). Disk entries are
+// transparently reloaded (and re-promoted) on a later miss, so a small
+// memory budget still serves a large working set.
 //
 // Disk I/O never happens under the cache lock: spill reads and writes
 // run on the caller's goroutine against a quiescent file (writes are
@@ -34,6 +38,10 @@ type Cache struct {
 	ll  *list.List // front = most recently used
 	m   map[string]*list.Element
 	dir string // "" disables the disk spill
+
+	// corrupt counts spill files quarantined on digest mismatch; exposed
+	// as nord_cache_corrupt_quarantined_total.
+	corrupt atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -71,53 +79,51 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	if dir == "" {
 		return nil, false
 	}
-	val, ok := readSpill(c.spillPath(key))
+	val, ok := c.readSpill(c.spillPath(key))
 	if !ok {
 		return nil, false
 	}
-	// Promote. Another goroutine may have raced the same disk read (or a
-	// Put); insertLocked refreshes idempotently either way.
-	evicted := c.insert(key, val)
-	c.writeSpills(evicted)
+	// Promote into memory only: the value just came off disk, so no
+	// write-through is needed. Another goroutine may have raced the same
+	// disk read (or a Put); insert refreshes idempotently either way.
+	c.insert(key, val)
 	return val, true
 }
 
-// Put inserts (or refreshes) a result, evicting the least recently used
-// entries to the spill directory when over capacity. Spill writes happen
-// on the caller's goroutine, outside the cache lock.
+// Put inserts (or refreshes) a result. With a spill directory configured
+// the value is written through to disk immediately — durability at Put
+// time, not eviction time — on the caller's goroutine, outside the cache
+// lock. Re-putting identical bytes (a fleet retry's duplicate result)
+// skips the redundant disk write.
 func (c *Cache) Put(key string, val []byte) {
-	c.writeSpills(c.insert(key, val))
+	if c.insert(key, val) && c.dir != "" {
+		// A failed spill write only costs a future recompute.
+		_ = writeSpill(c.dir, c.spillPath(key), val)
+	}
 }
 
-// insert adds the entry under the lock and returns any evicted entries
-// for the caller to spill outside it.
-func (c *Cache) insert(key string, val []byte) []*cacheEntry {
+// insert adds the entry under the lock, evicting over-capacity LRU
+// entries from memory (their disk copies, if any, were written at their
+// own Put). It reports whether the value is new or changed — the
+// caller's write-through trigger.
+func (c *Cache) insert(key string, val []byte) (fresh bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		ent := el.Value.(*cacheEntry)
+		fresh = !bytes.Equal(ent.val, val)
+		ent.val = val
 		c.ll.MoveToFront(el)
-		return nil
+		return fresh
 	}
 	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
-	var evicted []*cacheEntry
 	for c.ll.Len() > c.cap {
 		back := c.ll.Back()
 		ent := back.Value.(*cacheEntry)
-		if c.dir != "" {
-			evicted = append(evicted, ent)
-		}
 		c.ll.Remove(back)
 		delete(c.m, ent.key)
 	}
-	return evicted
-}
-
-func (c *Cache) writeSpills(ents []*cacheEntry) {
-	for _, ent := range ents {
-		// A failed spill write only costs a future recompute.
-		_ = writeSpill(c.dir, c.spillPath(ent.key), ent.val)
-	}
+	return true
 }
 
 // Len returns the number of in-memory entries.
@@ -126,6 +132,10 @@ func (c *Cache) Len() int {
 	defer c.mu.Unlock()
 	return c.ll.Len()
 }
+
+// CorruptQuarantined returns the number of spill files quarantined on
+// digest mismatch since process start.
+func (c *Cache) CorruptQuarantined() uint64 { return c.corrupt.Load() }
 
 // spillPath maps a key to its spill file; keys are hex digests, so they
 // are filesystem-safe by construction.
@@ -162,10 +172,13 @@ func writeSpill(dir, path string, val []byte) error {
 }
 
 // readSpill loads and validates one spill file. A malformed header or a
-// digest mismatch (truncated or corrupt payload) removes the file and
-// reports a miss: recomputing a result is always safe, serving a corrupt
-// one never is.
-func readSpill(path string) ([]byte, bool) {
+// digest mismatch (truncated or corrupt payload) quarantines the file —
+// renamed to "<name>.corrupt" so an operator can inspect what rotted
+// instead of the evidence vanishing — counts it, and reports a miss:
+// recomputing a result is always safe, serving a corrupt one never is.
+// Quarantining also makes the miss permanent-cheap: the bad bytes are no
+// longer re-read and re-hashed on every subsequent lookup of that key.
+func (c *Cache) readSpill(path string) ([]byte, bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
@@ -181,6 +194,9 @@ func readSpill(path string) ([]byte, bool) {
 			return val, true
 		}
 	}
-	_ = os.Remove(path)
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		_ = os.Remove(path) // quarantine failed; removal still unblocks the key
+	}
+	c.corrupt.Add(1)
 	return nil, false
 }

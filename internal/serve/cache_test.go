@@ -41,20 +41,45 @@ func TestCacheDiskSpillAndPromote(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Put("k1", []byte("one"))
-	c.Put("k2", []byte("two")) // spills k1 to disk
+	c.Put("k2", []byte("two")) // evicts k1 from memory; both written through at Put
 	if _, err := os.Stat(filepath.Join(dir, "k1.json")); err != nil {
-		t.Fatalf("k1 not spilled: %v", err)
+		t.Fatalf("k1 not on disk: %v", err)
 	}
-	// Disk hit reloads and promotes k1, spilling k2.
+	// Disk hit reloads and promotes k1, evicting k2 from memory; k2's
+	// disk copy (written at its Put) still serves it.
 	v, ok := c.Get("k1")
 	if !ok || string(v) != "one" {
 		t.Fatalf("disk hit failed: %q %v", v, ok)
 	}
 	if _, err := os.Stat(filepath.Join(dir, "k2.json")); err != nil {
-		t.Fatalf("k2 not spilled on promote: %v", err)
+		t.Fatalf("k2 not on disk: %v", err)
 	}
 	if v, ok := c.Get("k2"); !ok || string(v) != "two" {
-		t.Fatalf("k2 lost after spill: %q %v", v, ok)
+		t.Fatalf("k2 lost after eviction: %q %v", v, ok)
+	}
+}
+
+// TestCacheWriteThroughDurableAtPut: with a spill directory, a Put is on
+// disk immediately — not at some later eviction — so a process killed
+// right after finishing a job can always recover that job's result.
+func TestCacheWriteThroughDurableAtPut(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewCache(64, dir) // far under capacity: nothing ever evicts
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put("k1", []byte("payload"))
+	if _, err := os.Stat(filepath.Join(dir, "k1.json")); err != nil {
+		t.Fatalf("Put did not write through: %v", err)
+	}
+	// A fresh cache over the same directory (the restarted process)
+	// serves it without k1 ever having been evicted.
+	c2, err := NewCache(64, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := c2.Get("k1"); !ok || string(v) != "payload" {
+		t.Fatalf("restart lost an un-evicted entry: %q %v", v, ok)
 	}
 }
 
@@ -81,8 +106,10 @@ func TestCacheSpillSurvivesRestart(t *testing.T) {
 }
 
 // TestCacheSpillRejectsCorruption covers the crash-safety contract: a
-// truncated or bit-flipped spill file must read as a miss (and be
-// removed), never served as a result.
+// truncated or bit-flipped spill file must read as a miss and be
+// quarantined (renamed to *.corrupt and counted, so the evidence survives
+// for inspection and the key stops re-reading bad bytes), never served as
+// a result.
 func TestCacheSpillRejectsCorruption(t *testing.T) {
 	dir := t.TempDir()
 	c, err := NewCache(1, dir)
@@ -90,7 +117,7 @@ func TestCacheSpillRejectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Put("k1", []byte(`{"ok":true}`))
-	c.Put("k2", []byte("evictor")) // spills k1
+	c.Put("k2", []byte("evictor")) // evicts k1 from memory; its disk copy remains
 
 	path := filepath.Join(dir, "k1.json")
 	good, err := os.ReadFile(path)
@@ -105,6 +132,7 @@ func TestCacheSpillRejectsCorruption(t *testing.T) {
 		"empty":             {},
 		"legacy raw json":   []byte(`{"ok":true}`), // pre-header format: unverifiable, must not be served
 	}
+	var quarantined uint64
 	for name, data := range corruptions {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
@@ -113,7 +141,18 @@ func TestCacheSpillRejectsCorruption(t *testing.T) {
 			t.Fatalf("%s: corrupt spill served as a hit: %q", name, v)
 		}
 		if _, err := os.Stat(path); !os.IsNotExist(err) {
-			t.Fatalf("%s: corrupt spill not removed (err=%v)", name, err)
+			t.Fatalf("%s: corrupt spill left in place (err=%v)", name, err)
+		}
+		qdata, err := os.ReadFile(path + ".corrupt")
+		if err != nil {
+			t.Fatalf("%s: corrupt spill not quarantined: %v", name, err)
+		}
+		if string(qdata) != string(data) {
+			t.Fatalf("%s: quarantine mangled the evidence", name)
+		}
+		quarantined++
+		if got := c.CorruptQuarantined(); got != quarantined {
+			t.Fatalf("%s: CorruptQuarantined=%d, want %d", name, got, quarantined)
 		}
 	}
 

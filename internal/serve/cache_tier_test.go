@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func tierPut(t *testing.T, ts *httptest.Server, key string, payload []byte, sum string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/cache/"+key, bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(SumHeader, sum)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestCacheTierEndpoints proves the remote tier wire contract: a miss is
+// a 404 (counted), a digest-validated PUT lands (204), the payload reads
+// back byte-identical with its digest in the response header, and a PUT
+// whose body does not match its claimed digest is rejected without
+// touching the cache.
+func TestCacheTierEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	payload := []byte(`{"result":42}`)
+	sum := sha256.Sum256(payload)
+	key := strings.Repeat("ab", 32) // 64 hex chars
+
+	resp, err := http.Get(ts.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET before PUT: %d, want 404", resp.StatusCode)
+	}
+	if got := s.Metrics().CacheRemoteMisses.Load(); got != 1 {
+		t.Fatalf("remote misses = %d, want 1", got)
+	}
+
+	// Digest mismatch rejected and counted.
+	if resp := tierPut(t, ts, key, payload, strings.Repeat("00", 32)); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT with wrong digest: %d, want 400", resp.StatusCode)
+	}
+	// Missing digest rejected too.
+	if resp := tierPut(t, ts, key, payload, ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT with no digest: %d, want 400", resp.StatusCode)
+	}
+	if got := s.Metrics().CacheRemotePutRejected.Load(); got != 2 {
+		t.Fatalf("put rejected = %d, want 2", got)
+	}
+	if _, ok := s.cache.Get(key); ok {
+		t.Fatal("rejected PUT still poisoned the cache")
+	}
+
+	// Valid PUT, then read back.
+	if resp := tierPut(t, ts, key, payload, hex.EncodeToString(sum[:])); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("valid PUT: %d, want 204", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/cache/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body, payload) {
+		t.Fatalf("GET after PUT: %d %q", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get(SumHeader); got != hex.EncodeToString(sum[:]) {
+		t.Fatalf("GET digest header = %q", got)
+	}
+
+	// Malformed keys never reach the cache namespace.
+	for _, bad := range []string{"short", strings.Repeat("g", 64), strings.Repeat("AB", 32)} {
+		resp, err := http.Get(ts.URL + "/v1/cache/" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %q: %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestRestoreJobAndTerminal exercises the crash-recovery server APIs the
+// fleet coordinator drives: restoring an open job re-queues it under its
+// original ID (and future IDs never collide), restoring a done job
+// serves the cached payload, and a done job whose cached result is gone
+// reports ErrNoCachedResult so the caller recomputes.
+func TestRestoreJobAndTerminal(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	reqJSON := []byte(`{"kind":"synthetic","synthetic":{"design":"NoRD","pattern":"uniform","width":4,"height":4,"rate":0.05,"measure":2000,"seed":7}}`)
+
+	// Open-job restore: the job runs to done through the normal pipeline.
+	j, err := s.RestoreJob("j000041", reqJSON)
+	if err != nil {
+		t.Fatalf("RestoreJob: %v", err)
+	}
+	if err := s.disp.Submit(j); err != nil {
+		t.Fatalf("submit restored job: %v", err)
+	}
+	<-j.Done()
+	if j.State() != JobDone {
+		t.Fatalf("restored job state %s: %s", j.State(), j.status(false).Error)
+	}
+	st := getStatus(t, ts, "j000041")
+	if st.State != JobDone || len(st.Result) == 0 {
+		t.Fatalf("GET restored job: %+v", st)
+	}
+
+	// Terminal restore of the same config under a different ID: payload
+	// comes from the cache, byte-identical.
+	if err := s.RestoreTerminal("j000040", reqJSON, JobDone, ""); err != nil {
+		t.Fatalf("RestoreTerminal: %v", err)
+	}
+	st2 := getStatus(t, ts, "j000040")
+	if st2.State != JobDone || !st2.Cached || !bytes.Equal(st2.Result, st.Result) {
+		t.Fatalf("terminal restore mismatch: state=%s cached=%v", st2.State, st2.Cached)
+	}
+
+	// Failed restore keeps the error and does not poison dedup.
+	if err := s.RestoreTerminal("j000039", []byte(`{"kind":"synthetic","synthetic":{"design":"NoRD","pattern":"uniform","width":4,"height":4,"rate":0.07,"measure":2000,"seed":9}}`), JobFailed, "boom"); err != nil {
+		t.Fatalf("RestoreTerminal failed-state: %v", err)
+	}
+	if st := getStatus(t, ts, "j000039"); st.State != JobFailed || st.Error != "boom" {
+		t.Fatalf("failed restore: %+v", st)
+	}
+
+	// Done restore with no cached payload anywhere: recompute signal.
+	missing := []byte(`{"kind":"synthetic","synthetic":{"design":"NoRD","pattern":"uniform","width":4,"height":4,"rate":0.09,"measure":2000,"seed":11}}`)
+	if err := s.RestoreTerminal("j000038", missing, JobDone, ""); err != ErrNoCachedResult {
+		t.Fatalf("RestoreTerminal without cache = %v, want ErrNoCachedResult", err)
+	}
+
+	// The sequence advanced past the restored IDs: a fresh submission
+	// must not collide with j000041.
+	code, sr, _ := postJob(t, ts, `{"kind":"synthetic","synthetic":{"design":"NoRD","pattern":"uniform","width":4,"height":4,"rate":0.06,"measure":2000,"seed":8}}`)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("fresh submit: %d", code)
+	}
+	if sr.ID <= "j000041" {
+		t.Fatalf("fresh job ID %s did not advance past restored j000041", sr.ID)
+	}
+}

@@ -35,3 +35,13 @@ type Dispatcher interface {
 type PromWriter interface {
 	WritePromTo(w io.Writer)
 }
+
+// HealthNoter is implemented by dispatchers that can report degraded-but-
+// alive conditions (a fleet with zero live workers running on its local
+// fallback, a flaky remote cache tier, a wedged journal). /healthz
+// surfaces the notes with status "degraded" while keeping HTTP 200: the
+// process is serving, just limping — distinct from 503 draining, which
+// tells load balancers to stop routing here.
+type HealthNoter interface {
+	HealthNotes() []string
+}

@@ -143,6 +143,15 @@ func (j *Job) Traced() bool { return j.task.traced }
 // ships to a fleet worker for remote execution.
 func (j *Job) RequestJSON() []byte { return j.task.req }
 
+// FinalError returns the terminal error message — empty while the job is
+// still open and for jobs that finished done. External dispatchers use it
+// to journal the terminal transition they just drove through FinishRemote.
+func (j *Job) FinalError() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
 // finish records the terminal state and closes every subscriber stream.
 // It reports whether this call performed the transition: a job reaches a
 // terminal state exactly once, and only the transitioning caller may

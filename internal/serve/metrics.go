@@ -38,6 +38,17 @@ type Metrics struct {
 	SearchGenerations atomic.Uint64
 	SearchFrontSize   atomic.Uint64
 
+	// Remote cache tier (GET/PUT /v1/cache/{key}) counters: hits and
+	// misses served to fleet workers, payloads written back by workers,
+	// PUTs rejected for a digest mismatch, and the cumulative PUT retries
+	// workers reported while the tier was flaky (folded in from result
+	// reports by the fleet coordinator).
+	CacheRemoteHits        atomic.Uint64
+	CacheRemoteMisses      atomic.Uint64
+	CacheRemotePuts        atomic.Uint64
+	CacheRemotePutRejected atomic.Uint64
+	CacheRemotePutRetries  atomic.Uint64
+
 	// Per-design counters, indexed by noc.Design: router wakeups and
 	// misrouted (detoured) hops measured by completed single-run jobs.
 	// Sweeps do not contribute (their cells span designs).
@@ -87,6 +98,21 @@ func (m *Metrics) WriteProm(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "# HELP nord_cache_misses_total Content-addressed cache misses.\n")
 	fmt.Fprintf(w, "# TYPE nord_cache_misses_total counter\n")
 	fmt.Fprintf(w, "nord_cache_misses_total %d\n", m.CacheMisses.Load())
+	fmt.Fprintf(w, "# HELP nord_cache_remote_hits_total Remote cache tier hits served over GET /v1/cache/{key}.\n")
+	fmt.Fprintf(w, "# TYPE nord_cache_remote_hits_total counter\n")
+	fmt.Fprintf(w, "nord_cache_remote_hits_total %d\n", m.CacheRemoteHits.Load())
+	fmt.Fprintf(w, "# HELP nord_cache_remote_misses_total Remote cache tier misses (GET /v1/cache/{key} 404s).\n")
+	fmt.Fprintf(w, "# TYPE nord_cache_remote_misses_total counter\n")
+	fmt.Fprintf(w, "nord_cache_remote_misses_total %d\n", m.CacheRemoteMisses.Load())
+	fmt.Fprintf(w, "# HELP nord_cache_remote_puts_total Payloads written back over PUT /v1/cache/{key}.\n")
+	fmt.Fprintf(w, "# TYPE nord_cache_remote_puts_total counter\n")
+	fmt.Fprintf(w, "nord_cache_remote_puts_total %d\n", m.CacheRemotePuts.Load())
+	fmt.Fprintf(w, "# HELP nord_cache_remote_put_rejected_total Cache tier PUTs rejected for a payload digest mismatch.\n")
+	fmt.Fprintf(w, "# TYPE nord_cache_remote_put_rejected_total counter\n")
+	fmt.Fprintf(w, "nord_cache_remote_put_rejected_total %d\n", m.CacheRemotePutRejected.Load())
+	fmt.Fprintf(w, "# HELP nord_cache_remote_put_retries_total Worker-reported cache tier PUT retries (tier flaky or unreachable).\n")
+	fmt.Fprintf(w, "# TYPE nord_cache_remote_put_retries_total counter\n")
+	fmt.Fprintf(w, "nord_cache_remote_put_retries_total %d\n", m.CacheRemotePutRetries.Load())
 	fmt.Fprintf(w, "# HELP nord_sim_cycles_total Cumulative simulated cycles across all jobs.\n")
 	fmt.Fprintf(w, "# TYPE nord_sim_cycles_total counter\n")
 	fmt.Fprintf(w, "nord_sim_cycles_total %d\n", m.SimCycles.Load())

@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -74,6 +76,9 @@ type Config struct {
 	ProgressEvery int
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// MaxCacheBodyBytes bounds PUT /v1/cache/{key} payloads — marshalled
+	// results, which can be much larger than submissions (default 16 MiB).
+	MaxCacheBodyBytes int64
 	// JobDeadline bounds one job's wall-clock execution (0 = unbounded).
 	// A run that exceeds it is failed — not canceled — so a runaway
 	// simulation cannot pin a worker forever.
@@ -115,6 +120,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxCacheBodyBytes == 0 {
+		c.MaxCacheBodyBytes = 16 << 20
 	}
 	if c.MaxSearches == 0 {
 		c.MaxSearches = 4
@@ -203,8 +211,10 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/jobs/{id}/events NDJSON progress stream
 //	GET    /v1/jobs/{id}/trace  NDJSON cycle-level event stream (jobs submitted with trace_events)
+//	GET    /v1/cache/{key}      remote cache tier read (sha256-validated payload)
+//	PUT    /v1/cache/{key}      remote cache tier write-back (payload digest enforced)
 //	GET    /metrics             Prometheus text metrics
-//	GET    /healthz             readiness (503 while draining)
+//	GET    /healthz             readiness (503 while draining; "degraded" + notes while limping)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -214,6 +224,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -450,6 +462,10 @@ type RemoteOutcome struct {
 	Canceled bool `json:"canceled,omitempty"`
 	// Meta carries the run's headline counters for the per-design metrics.
 	Meta *RunMeta `json:"meta,omitempty"`
+	// FromCache marks a payload the worker fetched from the remote cache
+	// tier instead of simulating: the coordinator skips the redundant
+	// write-back and no per-design sim counters apply.
+	FromCache bool `json:"from_cache,omitempty"`
 }
 
 // FinishRemote finalises a job with a worker-produced outcome: terminal
@@ -470,7 +486,7 @@ func (s *Server) FinishRemote(j *Job, out RemoteOutcome) {
 		s.dropKey(j)
 	default:
 		if j.finish(JobDone, out.Payload, "") {
-			if !j.task.traced {
+			if !j.task.traced && !out.FromCache {
 				s.cache.Put(j.Key, out.Payload)
 			}
 			s.metrics.JobsDone.Add(1)
@@ -504,6 +520,104 @@ func (s *Server) DropCanceled(j *Job) {
 		s.metrics.JobsCanceled.Add(1)
 	}
 	s.dropKey(j)
+}
+
+// ErrNoCachedResult reports that a journaled done job's payload is no
+// longer recoverable from the content-addressed cache (evicted with no
+// spill, or the spill was corrupt and quarantined). The coordinator
+// requeues such a job: the run is deterministic, so recomputing yields
+// the same bytes the dead process served.
+var ErrNoCachedResult = errors.New("serve: no cached result for restored job")
+
+// RestoreJob re-creates a queued job from its journaled submission body —
+// the coordinator's crash-recovery path for jobs that were open when the
+// previous process died. The job keeps its original client-facing ID, so
+// a client polling GET /v1/jobs/{id} across the restart never notices.
+func (s *Server) RestoreJob(id string, reqJSON []byte) (*Job, error) {
+	t, err := restoreTask(reqJSON)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.jobs[id]; ok {
+		return nil, fmt.Errorf("serve: job %s already exists", id)
+	}
+	j := newJob(id, t)
+	s.jobs[id] = j
+	if _, ok := s.byKey[j.Key]; !ok {
+		s.byKey[j.Key] = j
+	}
+	s.bumpSeqLocked(id)
+	return j, nil
+}
+
+// RestoreTerminal re-creates an already-terminal job from the journal.
+// Done jobs are rehydrated with their payload from the content-addressed
+// cache (the byte-identical result the dead process served); if the cache
+// no longer holds it, ErrNoCachedResult tells the caller to requeue and
+// recompute instead. Failed and canceled jobs restore with their recorded
+// error and are not indexed for dedup (they must not satisfy future
+// submissions, mirroring dropKey).
+func (s *Server) RestoreTerminal(id string, reqJSON []byte, state JobState, errMsg string) error {
+	if !state.Terminal() {
+		return fmt.Errorf("serve: RestoreTerminal with non-terminal state %q", state)
+	}
+	t, err := restoreTask(reqJSON)
+	if err != nil {
+		return err
+	}
+	var payload []byte
+	if state == JobDone {
+		val, ok := s.cache.Get(t.key)
+		if !ok {
+			return ErrNoCachedResult
+		}
+		payload = val
+	}
+	s.mu.Lock()
+	if _, ok := s.jobs[id]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: job %s already exists", id)
+	}
+	j := newJob(id, t)
+	s.jobs[id] = j
+	if state == JobDone {
+		if _, ok := s.byKey[j.Key]; !ok {
+			s.byKey[j.Key] = j
+		}
+	}
+	s.bumpSeqLocked(id)
+	s.mu.Unlock()
+	if state == JobDone {
+		j.completeFromCache(payload)
+	} else {
+		j.finish(state, nil, errMsg)
+	}
+	return nil
+}
+
+// restoreTask re-resolves a journaled submission body into a runnable
+// task, exactly as handleSubmit would have.
+func restoreTask(reqJSON []byte) (*task, error) {
+	var req JobRequest
+	if err := json.Unmarshal(reqJSON, &req); err != nil {
+		return nil, fmt.Errorf("serve: journaled request does not parse: %w", err)
+	}
+	t, err := resolveTask(&req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: journaled request does not resolve: %w", err)
+	}
+	return t, nil
+}
+
+// bumpSeqLocked advances the job-ID sequence past a restored ID so fresh
+// submissions never collide with recovered jobs; s.mu must be held.
+func (s *Server) bumpSeqLocked(id string) {
+	var n uint64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > s.seq {
+		s.seq = n
+	}
 }
 
 func (s *Server) lookup(id string) (*Job, bool) {
@@ -666,6 +780,83 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// SumHeader carries the hex sha256 of a cache payload on both directions
+// of the /v1/cache wire, so a corrupted transfer (or a buggy writer) is
+// detected at the boundary instead of poisoning the tier.
+const SumHeader = "X-Nord-Sum"
+
+// validCacheKey accepts exactly the keys CacheKey mints: 64 lowercase hex
+// characters. Anything else is rejected before it can touch the spill
+// directory namespace.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleCacheGet serves the remote cache tier: fleet workers check here
+// before simulating, so a configuration any process ever paid for is
+// never simulated twice fleet-wide. The response carries the payload's
+// sha256 for end-to-end validation.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, "malformed cache key")
+		return
+	}
+	val, ok := s.cache.Get(key)
+	if !ok {
+		s.metrics.CacheRemoteMisses.Add(1)
+		writeError(w, http.StatusNotFound, "no cached result")
+		return
+	}
+	s.metrics.CacheRemoteHits.Add(1)
+	sum := sha256.Sum256(val)
+	w.Header().Set(SumHeader, hex.EncodeToString(sum[:]))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(val)))
+	_, _ = w.Write(val)
+}
+
+// handleCachePut accepts a worker's result write-back. The X-Nord-Sum
+// digest is mandatory and enforced against the body — a mismatch means
+// the payload was damaged in flight (or the writer is wrong) and is
+// rejected rather than cached. PUTs are allowed while draining: a worker
+// finishing its last job during shutdown should still persist the result.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeError(w, http.StatusBadRequest, "malformed cache key")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxCacheBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading payload: "+err.Error())
+		return
+	}
+	sum := sha256.Sum256(body)
+	if want := r.Header.Get(SumHeader); want != hex.EncodeToString(sum[:]) {
+		s.metrics.CacheRemotePutRejected.Add(1)
+		writeError(w, http.StatusBadRequest, "payload digest mismatch (or missing "+SumHeader+" header)")
+		return
+	}
+	if len(body) == 0 || !json.Valid(body) {
+		s.metrics.CacheRemotePutRejected.Add(1)
+		writeError(w, http.StatusBadRequest, "payload is not valid JSON")
+		return
+	}
+	s.cache.Put(key, body)
+	s.metrics.CacheRemotePuts.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var queued, running int
 	s.mu.Lock()
@@ -687,20 +878,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		JobsQueued:   queued,
 		JobsRunning:  running,
 	})
+	fmt.Fprintf(w, "# HELP nord_cache_corrupt_quarantined_total Spill files quarantined (*.corrupt) on digest mismatch.\n")
+	fmt.Fprintf(w, "# TYPE nord_cache_corrupt_quarantined_total counter\n")
+	fmt.Fprintf(w, "nord_cache_corrupt_quarantined_total %d\n", s.cache.CorruptQuarantined())
 	if pw, ok := s.disp.(PromWriter); ok {
 		pw.WritePromTo(w)
 	}
 }
 
+// handleHealthz distinguishes three states: 503 "draining" (stop routing
+// here), 200 "degraded" with the dispatcher's notes (alive but limping —
+// zero live workers, unreachable cache tier, wedged journal), and plain
+// 200 "ok".
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":  "ok",
 		"workers": s.disp.Workers(),
-	})
+	}
+	if hn, ok := s.disp.(HealthNoter); ok {
+		if notes := hn.HealthNotes(); len(notes) > 0 {
+			resp["status"] = "degraded"
+			resp["degraded"] = notes
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -7,7 +7,11 @@
 # then drain the server with SIGTERM. A second phase boots a coordinator
 # with two fleet workers, kills one worker mid-job (SIGKILL, so no
 # graceful give-back) and asserts the lease expires, the job requeues,
-# and the surviving worker completes it. Needs only sh + curl + grep/sed.
+# and the surviving worker completes it. A third phase boots a journaled
+# coordinator, exercises the remote cache tier (seeded GET hit, PUT 204,
+# corrupt PUT 400), SIGKILLs the coordinator mid-job and restarts it on
+# the same address: every job must reach a terminal state with bytes
+# identical to a fresh local-mode run. Needs only sh + curl + grep/sed.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -19,9 +23,10 @@ SRV_PID=""
 COORD_PID=""
 W1_PID=""
 W2_PID=""
+W3_PID=""
 
 cleanup() {
-    for pid in "$SRV_PID" "$W1_PID" "$W2_PID" "$COORD_PID"; do
+    for pid in "$SRV_PID" "$W1_PID" "$W2_PID" "$W3_PID" "$COORD_PID"; do
         if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
             kill -TERM "$pid" 2>/dev/null || true
             wait "$pid" 2>/dev/null || true
@@ -80,6 +85,12 @@ for _ in $(seq 1 100); do
 done
 [ "$STATE" = done ] || fail "job stuck in state '$STATE'"
 echo "$STATUS" | grep -q '"avg_packet_latency"\|"result"' || fail "done job carries no result: $STATUS"
+
+# Keep this run's cache key and payload: the durable-fleet phase below
+# seeds its remote cache tier with them and asserts a zero-work hit.
+KEY=$(echo "$SUB" | sed -n 's/.*"key":"\([^"]*\)".*/\1/p')
+[ -n "$KEY" ] || fail "no cache key in $SUB"
+curl -fsS "$BASE/v1/cache/$KEY" -o "$WORKDIR/ref.json" || fail "cache tier GET for $KEY failed"
 
 echo "== resubmitting the identical job (must be a cache hit)"
 RESUB=$(curl -fsS "$BASE/v1/jobs" -d "$JOB")
@@ -293,5 +304,201 @@ W2_PID=""
 kill -TERM "$COORD_PID"
 wait "$COORD_PID" || ffail "coordinator exited non-zero on drain"
 COORD_PID=""
+
+# ---- durable fleet phase: journaled coordinator, SIGKILL + restart ----
+
+DLOG="$WORKDIR/durable.log"
+W3LOG="$WORKDIR/worker3.log"
+JDIR="$WORKDIR/journal"
+DCACHE="$WORKDIR/dur-cache"
+
+dfail() {
+    echo "SMOKE FAIL (durable): $*" >&2
+    for f in "$DLOG" "$W3LOG"; do
+        echo "--- $f ---" >&2
+        cat "$f" >&2 2>/dev/null || true
+    done
+    exit 1
+}
+
+# boot_durable [addr] — (re)start the journaled coordinator, set
+# COORD_PID and DADDR. A restart rebinds the address the dead
+# incarnation held, retrying while the kernel releases it.
+boot_durable() {
+    want_addr="${1:-127.0.0.1:0}"
+    attempt=0
+    while :; do
+        attempt=$((attempt + 1))
+        : >"$DLOG"
+        "$BIN" -mode coordinator -addr "$want_addr" -lease-ttl 5s \
+            -retry-base 100ms -retry-max 500ms \
+            -cache-dir "$DCACHE" -journal-dir "$JDIR" >"$DLOG" 2>&1 &
+        COORD_PID=$!
+        DADDR=""
+        for _ in $(seq 1 50); do
+            DADDR=$(sed -n 's/^nordserved listening on //p' "$DLOG")
+            [ -n "$DADDR" ] && break
+            kill -0 "$COORD_PID" 2>/dev/null || break
+            sleep 0.1
+        done
+        [ -n "$DADDR" ] && return 0
+        wait "$COORD_PID" 2>/dev/null || true
+        COORD_PID=""
+        [ "$attempt" -lt 20 ] || dfail "durable coordinator would not (re)bind $want_addr"
+        sleep 0.2
+    done
+}
+
+echo "== durable: booting journaled coordinator"
+boot_durable
+DBASE="http://$DADDR"
+echo "   coordinator on $DADDR (journal $JDIR)"
+
+echo "== durable: workerless healthz is alive-but-degraded"
+HEALTH=$(curl -fsS "$DBASE/healthz")
+echo "$HEALTH" | grep -q '"status":"degraded"' || dfail "workerless coordinator healthz not degraded: $HEALTH"
+echo "$HEALTH" | grep -q 'no_live_workers' || dfail "degraded healthz missing no_live_workers note: $HEALTH"
+
+echo "== durable: remote cache tier (seeded hit, PUT 204, corrupt PUT 400)"
+# A register-only placeholder keeps the fleet live so the submission
+# queues for a worker lease instead of running on the local fallback.
+curl -fsS "$DBASE/fleet/v1/register" -d '{"worker_id":"placeholder"}' >/dev/null \
+    || dfail "placeholder registration failed"
+RSUB=$(curl -fsS "$DBASE/v1/jobs" -d "$JOB")
+RID=$(echo "$RSUB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+RKEY=$(echo "$RSUB" | sed -n 's/.*"key":"\([^"]*\)".*/\1/p')
+[ -n "$RID" ] || dfail "no job id in $RSUB"
+echo "$RSUB" | grep -q '"cached":false' || dfail "fresh coordinator claimed a cache hit: $RSUB"
+[ "$RKEY" = "$KEY" ] || dfail "content-addressed key drifted across processes: $RKEY vs $KEY"
+SUM=$(sha256sum "$WORKDIR/ref.json" | cut -d' ' -f1)
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X PUT --data-binary "@$WORKDIR/ref.json" \
+    -H "X-Nord-Sum: 0000000000000000000000000000000000000000000000000000000000000000" \
+    "$DBASE/v1/cache/$RKEY")
+[ "$CODE" = 400 ] || dfail "corrupt cache PUT returned $CODE, want 400"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' -X PUT --data-binary "@$WORKDIR/ref.json" \
+    -H "X-Nord-Sum: $SUM" "$DBASE/v1/cache/$RKEY")
+[ "$CODE" = 204 ] || dfail "cache PUT returned $CODE, want 204"
+
+echo "== durable: starting worker w3 (tier defaults to the coordinator)"
+"$BIN" -mode worker -coordinator "$DBASE" -worker-id w3 >"$W3LOG" 2>&1 &
+W3_PID=$!
+RSTATE=""
+for _ in $(seq 1 100); do
+    RSTATE=$(curl -fsS "$DBASE/v1/jobs/$RID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    [ "$RSTATE" = done ] && break
+    case "$RSTATE" in failed|canceled) dfail "seeded job ended in $RSTATE" ;; esac
+    sleep 0.2
+done
+[ "$RSTATE" = done ] || dfail "seeded job stuck in state '$RSTATE'"
+curl -fsS "$DBASE/metrics" | grep -q '^nord_cache_remote_hits_total [1-9]' \
+    || dfail "worker served the seeded job without a remote cache hit"
+echo "   remote tier verified: seeded payload served with zero simulation work"
+
+echo "== durable: one short job done, one long job mid-flight"
+SHORT_JOB='{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"pattern":"uniform","rate":0.05,"warmup":1000,"measure":20000,"seed":31}}'
+LONG_JOB='{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"pattern":"uniform","rate":0.05,"warmup":1000,"measure":1200000,"seed":33}}'
+SSUB=$(curl -fsS "$DBASE/v1/jobs" -d "$SHORT_JOB")
+SID=$(echo "$SSUB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+SKEY=$(echo "$SSUB" | sed -n 's/.*"key":"\([^"]*\)".*/\1/p')
+[ -n "$SID" ] || dfail "no short job id in $SSUB"
+for _ in $(seq 1 150); do
+    SSTATE=$(curl -fsS "$DBASE/v1/jobs/$SID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    [ "$SSTATE" = done ] && break
+    case "$SSTATE" in failed|canceled) dfail "short job ended in $SSTATE" ;; esac
+    sleep 0.2
+done
+[ "$SSTATE" = done ] || dfail "short job stuck in state '$SSTATE'"
+curl -fsS "$DBASE/v1/cache/$SKEY" -o "$WORKDIR/s_fleet.json" || dfail "short payload GET failed"
+LSUB=$(curl -fsS "$DBASE/v1/jobs" -d "$LONG_JOB")
+LID=$(echo "$LSUB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+LKEY=$(echo "$LSUB" | sed -n 's/.*"key":"\([^"]*\)".*/\1/p')
+[ -n "$LID" ] || dfail "no long job id in $LSUB"
+for _ in $(seq 1 100); do
+    LSTATE=$(curl -fsS "$DBASE/v1/jobs/$LID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    [ "$LSTATE" = running ] && break
+    case "$LSTATE" in done|failed|canceled) dfail "long job finished ($LSTATE) before the kill could land" ;; esac
+    sleep 0.1
+done
+[ "$LSTATE" = running ] || dfail "long job never started running"
+
+echo "== durable: SIGKILL coordinator mid-job, restarting on $DADDR"
+kill -KILL "$COORD_PID"
+wait "$COORD_PID" 2>/dev/null || true
+COORD_PID=""
+boot_durable "$DADDR"
+echo "   restarted (pid $COORD_PID)"
+
+echo "== durable: finished job replayed from the journal, byte-identical"
+SSTATE=$(curl -fsS "$DBASE/v1/jobs/$SID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+[ "$SSTATE" = done ] || dfail "pre-crash done job replayed as '$SSTATE', want done"
+curl -fsS "$DBASE/v1/cache/$SKEY" -o "$WORKDIR/s_after.json" || dfail "post-restart payload GET failed"
+cmp -s "$WORKDIR/s_fleet.json" "$WORKDIR/s_after.json" \
+    || dfail "replayed payload differs from the pre-crash bytes"
+
+echo "== durable: in-flight job requeued and completed"
+LSTATE=""
+for _ in $(seq 1 240); do
+    LSTATE=$(curl -fsS "$DBASE/v1/jobs/$LID" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    [ "$LSTATE" = done ] && break
+    case "$LSTATE" in failed|canceled) dfail "recovered long job ended in $LSTATE" ;; esac
+    sleep 0.5
+done
+[ "$LSTATE" = done ] || dfail "recovered long job stuck in state '$LSTATE'"
+curl -fsS "$DBASE/v1/cache/$LKEY" -o "$WORKDIR/l_fleet.json" || dfail "long payload GET failed"
+
+DMETRICS=$(curl -fsS "$DBASE/metrics")
+echo "$DMETRICS" | grep -q '^nord_fleet_journal_appends_total [1-9]' \
+    || dfail "journal recorded no appends"
+echo "$DMETRICS" | grep -q '^nord_fleet_journal_replayed_jobs_total [1-9]' \
+    || dfail "no terminal job replayed on recovery"
+echo "$DMETRICS" | grep -q '^nord_fleet_journal_requeues_on_recovery_total [1-9]' \
+    || dfail "the in-flight job was not requeued on recovery"
+echo "   crash recovery verified: terminal jobs replayed, open job requeued"
+
+echo "== durable: draining worker and coordinator"
+kill -TERM "$W3_PID"
+wait "$W3_PID" || dfail "w3 exited non-zero on drain"
+W3_PID=""
+kill -TERM "$COORD_PID"
+wait "$COORD_PID" || dfail "coordinator exited non-zero on drain"
+COORD_PID=""
+
+echo "== durable: fleet results must match a fresh local-mode run"
+RLOG="$WORKDIR/reference.log"
+"$BIN" -addr 127.0.0.1:0 -workers 2 >"$RLOG" 2>&1 &
+SRV_PID=$!
+RADDR=""
+for _ in $(seq 1 50); do
+    RADDR=$(sed -n 's/^nordserved listening on //p' "$RLOG")
+    [ -n "$RADDR" ] && break
+    kill -0 "$SRV_PID" 2>/dev/null || dfail "reference server exited during startup"
+    sleep 0.1
+done
+[ -n "$RADDR" ] || dfail "no reference server listen line"
+RBASE="http://$RADDR"
+for spec in "SHORT $SHORT_JOB $SKEY s_fleet" "LONG $LONG_JOB $LKEY l_fleet"; do
+    name=$(echo "$spec" | cut -d' ' -f1)
+    body=$(echo "$spec" | cut -d' ' -f2)
+    key=$(echo "$spec" | cut -d' ' -f3)
+    ref=$(echo "$spec" | cut -d' ' -f4)
+    rid=$(curl -fsS "$RBASE/v1/jobs" -d "$body" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+    [ -n "$rid" ] || dfail "$name reference submission failed"
+    rstate=""
+    for _ in $(seq 1 240); do
+        rstate=$(curl -fsS "$RBASE/v1/jobs/$rid" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+        [ "$rstate" = done ] && break
+        case "$rstate" in failed|canceled) dfail "$name reference run ended in $rstate" ;; esac
+        sleep 0.5
+    done
+    [ "$rstate" = done ] || dfail "$name reference run stuck in '$rstate'"
+    curl -fsS "$RBASE/v1/cache/$key" -o "$WORKDIR/local_$name.json" \
+        || dfail "$name reference payload GET failed"
+    cmp -s "$WORKDIR/$ref.json" "$WORKDIR/local_$name.json" \
+        || dfail "$name fleet result diverged from the local-mode reference run"
+done
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || dfail "reference server exited non-zero on drain"
+SRV_PID=""
+echo "   byte-identity verified against a single-process run"
 
 echo "SMOKE PASS"
