@@ -26,8 +26,9 @@ import (
 
 func main() {
 	var (
-		width       = flag.Int("width", 8, "mesh width")
-		height      = flag.Int("height", 8, "mesh height")
+		width       = flag.Int("width", 8, "router-grid width")
+		height      = flag.Int("height", 8, "router-grid height")
+		topo        = flag.String("topology", "mesh", "interconnect: mesh, torus or cmesh (4 terminals/router)")
 		pattern     = flag.String("pattern", "uniform", "synthetic pattern: uniform, bitcomp, transpose, tornado")
 		rate        = flag.Float64("rate", 0.05, "synthetic injection rate (flits/node/cycle)")
 		measure     = flag.Int("measure", 30_000, "measured cycles per cell")
@@ -47,7 +48,7 @@ func main() {
 	}
 
 	cfg := sim.DegradationConfig{
-		Width: *width, Height: *height,
+		Width: *width, Height: *height, Topology: *topo,
 		Pattern: *pattern, Rate: *rate, Measure: *measure, Seed: *seed,
 		MaxFails:     *maxFails,
 		StuckOff:     *stuckOff,
@@ -74,8 +75,8 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("Graceful degradation: %dx%d mesh, %s @ %.3f, %d measured cycles, seed %d\n",
-		*width, *height, *pattern, *rate, *measure, *seed)
+	fmt.Printf("Graceful degradation: %dx%d %s, %s @ %.3f, %d measured cycles, seed %d\n",
+		*width, *height, *topo, *pattern, *rate, *measure, *seed)
 	if *stuckOff+*dropWakeups+*corrupt > 0 {
 		fmt.Printf("transients per faulty cell: %d stuck-off, %d dropped wakeups, %d corrupt links\n",
 			*stuckOff, *dropWakeups, *corrupt)

@@ -17,8 +17,9 @@ import (
 
 func main() {
 	var (
-		width  = flag.Int("width", 4, "mesh width")
-		height = flag.Int("height", 4, "mesh height")
+		width  = flag.Int("width", 4, "router-grid width")
+		height = flag.Int("height", 4, "router-grid height")
+		topoN  = flag.String("topology", "mesh", "interconnect: mesh, torus or cmesh")
 		k      = flag.Int("k", 0, "performance-centric set size (0 = 3N/8, the paper's 6-of-16 ratio)")
 	)
 	flag.Parse()
@@ -28,7 +29,11 @@ func main() {
 		os.Exit(1)
 	}
 
-	mesh, err := topology.NewMesh(*width, *height)
+	kind, err := topology.KindByName(*topoN)
+	if err != nil {
+		fail(err)
+	}
+	mesh, err := topology.New(kind, *width, *height)
 	if err != nil {
 		fail(err)
 	}
@@ -43,7 +48,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("Figure 6: %dx%d mesh, bypass ring %v\n", *width, *height, ring.Order())
+		fmt.Printf("Figure 6: %dx%d %v, bypass ring %v\n", *width, *height, kind, ring.Order())
 		fmt.Printf("%6s %16s %16s\n", "on", "avg distance", "per-hop latency")
 		for _, p := range pts {
 			fmt.Printf("%6d %16.3f %16.3f\n", p.K, p.AvgHops, p.PerHopCycles)

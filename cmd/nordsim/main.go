@@ -86,8 +86,9 @@ func main() {
 		rate        = flag.Float64("rate", 0.05, "synthetic injection rate (flits/node/cycle)")
 		benchmark   = flag.String("benchmark", "", "run a PARSEC-like workload instead of synthetic traffic")
 		scale       = flag.Float64("scale", 1.0, "workload instruction-count scale")
-		width       = flag.Int("width", 4, "mesh width")
-		height      = flag.Int("height", 4, "mesh height")
+		topo        = flag.String("topology", "mesh", "interconnect: mesh, torus or cmesh (4 terminals/router)")
+		width       = flag.Int("width", 4, "router-grid width")
+		height      = flag.Int("height", 4, "router-grid height")
 		warmup      = flag.Int("warmup", 10_000, "warmup cycles")
 		measure     = flag.Int("measure", 100_000, "measured cycles (synthetic)")
 		wakeup      = flag.Int("wakeup", 12, "router wakeup latency in cycles")
@@ -161,7 +162,7 @@ func main() {
 			frames = 1
 		}
 		err := sim.WatchStates(sim.SynthConfig{
-			Design: d, Width: *width, Height: *height,
+			Design: d, Width: *width, Height: *height, Topology: *topo,
 			Pattern: *pattern, Rate: *rate,
 			Warmup: *warmup, Seed: *seed, WakeupLatency: *wakeup,
 			ForcedOff: *forcedOff, TwoStageRouter: *twoStage,
@@ -174,7 +175,7 @@ func main() {
 	}
 	if *powerTrace > 0 {
 		samples, err := sim.PowerTimeSeries(sim.SynthConfig{
-			Design: d, Width: *width, Height: *height,
+			Design: d, Width: *width, Height: *height, Topology: *topo,
 			Pattern: *pattern, Rate: *rate,
 			Warmup: *warmup, Measure: *measure,
 			Seed: *seed, WakeupLatency: *wakeup, ForcedOff: *forcedOff,
@@ -199,13 +200,17 @@ func main() {
 	}
 	var res sim.Result
 	if *benchmark != "" {
+		if *topo != "" && *topo != "mesh" {
+			// Refuse rather than silently running the workload on a mesh.
+			fail(fmt.Errorf("full-system workloads support only the mesh topology, got %q", *topo))
+		}
 		res, err = sim.RunWorkloadOpts(context.Background(), sim.WorkloadConfig{
 			Design: d, Benchmark: *benchmark, Scale: *scale,
 			Warmup: *warmup, Seed: *seed, WakeupLatency: *wakeup,
 		}, opt)
 	} else {
 		res, err = sim.RunSyntheticOpts(context.Background(), sim.SynthConfig{
-			Design: d, Width: *width, Height: *height,
+			Design: d, Width: *width, Height: *height, Topology: *topo,
 			Pattern: *pattern, Rate: *rate,
 			Warmup: *warmup, Measure: *measure,
 			Seed: *seed, WakeupLatency: *wakeup, ForcedOff: *forcedOff,

@@ -28,7 +28,7 @@ func TestDynamicClassifyTracksHotspot(t *testing.T) {
 	}
 	nearHot := 0
 	for _, id := range perf {
-		if n.mesh.HopDist(id, 0) <= 2 {
+		if n.topo.HopDist(id, 0) <= 2 {
 			nearHot++
 		}
 	}

@@ -84,8 +84,8 @@ func (n *Network) AttachFaults(s *fault.Schedule, opts FaultOptions) error {
 		armed:  make([]int32, n.nn*int(topology.NumDirs)),
 	}
 	for _, e := range fi.events {
-		if !n.mesh.Valid(e.Router) {
-			return &fault.ProtocolError{Cycle: 0, Router: e.Router, Msg: "fault event targets a router outside the mesh"}
+		if !n.topo.Valid(e.Router) {
+			return &fault.ProtocolError{Cycle: 0, Router: e.Router, Msg: "fault event targets a router outside the grid"}
 		}
 		fi.report.Injected[e.Kind]++
 	}
@@ -139,11 +139,12 @@ func (fi *faultInjector) apply(n *Network, e fault.Event) {
 	switch e.Kind {
 	case fault.CorruptLink:
 		d := topology.Dir(e.Dir % int(topology.Local))
-		if _, ok := n.mesh.Neighbor(e.Router, d); !ok {
-			// Edge router without that link: rotate to an existing one so
-			// the armed fault can actually bite.
+		if _, ok := n.topo.Neighbor(e.Router, d); !ok {
+			// Edge router without that link (meshes only; a torus wires
+			// every port, wrap links included): rotate to an existing one
+			// so the armed fault can actually bite.
 			for dd := topology.Dir(0); dd < topology.Local; dd++ {
-				if _, ok := n.mesh.Neighbor(e.Router, dd); ok {
+				if _, ok := n.topo.Neighbor(e.Router, dd); ok {
 					d = dd
 					break
 				}

@@ -33,7 +33,13 @@ type creditEvt struct {
 // measurement machinery, advanced one cycle at a time by Tick.
 type Network struct {
 	p    Params
-	mesh topology.Mesh
+	topo topology.Topology
+	// term is the terminal grid (topo.Terminals()); traffic sources
+	// address terminals, which the injection path maps onto routers. For
+	// concentration-1 topologies it is the identity frame over the router
+	// grid. conc caches topo.Concentration() for the hot paths.
+	term topology.Mesh
+	conc int
 	ring *topology.Ring
 
 	routers []*Router
@@ -51,9 +57,10 @@ type Network struct {
 	ejectHandler func(*flit.Packet, uint64)
 	injectHook   func(*flit.Packet, uint64)
 
-	// nbrTab caches mesh.Neighbor for the hot paths: nbrTab[id*5+dir] is
-	// the adjacent node id, or -1 when the port faces the mesh edge (and
-	// always -1 for the Local pseudo-direction).
+	// nbrTab caches topo.Neighbor for the hot paths: nbrTab[id*5+dir] is
+	// the adjacent node id, or -1 when the port is unwired (mesh edges;
+	// a torus has every grid port wired) — and always -1 for the Local
+	// pseudo-direction.
 	nbrTab []int32
 
 	inFlight     int
@@ -109,7 +116,7 @@ type Network struct {
 	// minDirs/xyDirs are the precomputed routing tables, indexed
 	// src*nn+dst (nil beyond routeTableMaxNodes; directions are then
 	// computed arithmetically, still allocation-free).
-	minDirs []dirSet
+	minDirs []topology.DirSet
 	xyDirs  []topology.Dir
 }
 
@@ -118,30 +125,32 @@ func New(p Params) (*Network, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	mesh, err := topology.NewMesh(p.Width, p.Height)
+	topo, err := topology.New(p.Topology, p.Width, p.Height)
 	if err != nil {
 		return nil, err
 	}
 	n := &Network{
 		p:     p,
-		mesh:  mesh,
+		topo:  topo,
+		term:  topo.Terminals(),
+		conc:  topo.Concentration(),
 		col:   stats.NewNoC(p.MaxIdlePeriod),
-		links: make([][4][]timedFlit, mesh.N()),
-		idle:  make([]*stats.IdleTracker, mesh.N()),
+		links: make([][4][]timedFlit, topo.N()),
+		idle:  make([]*stats.IdleTracker, topo.N()),
 	}
 	if p.Design == NoRD {
 		var ring *topology.Ring
 		if p.RingOrder != nil {
-			ring, err = topology.RingFromOrder(mesh, p.RingOrder)
+			ring, err = topology.RingFromOrder(topo, p.RingOrder)
 		} else {
-			ring, err = topology.NewRing(mesh)
+			ring, err = topology.NewRing(topo)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("noc: building bypass ring: %w", err)
 		}
 		n.ring = ring
 	}
-	n.nn = mesh.N()
+	n.nn = topo.N()
 	n.sparse = !p.FullScanTick
 	n.activeMask = make([]uint64, (n.nn+63)/64)
 	n.idScratch = make([]int, 0, n.nn)
@@ -150,7 +159,7 @@ func New(p Params) (*Network, error) {
 	n.nbrTab = make([]int32, n.nn*int(topology.NumDirs))
 	for id := 0; id < n.nn; id++ {
 		for d := topology.Dir(0); d < topology.NumDirs; d++ {
-			nb, ok := mesh.Neighbor(id, d)
+			nb, ok := topo.Neighbor(id, d)
 			if !ok {
 				nb = -1
 			}
@@ -191,11 +200,11 @@ func New(p Params) (*Network, error) {
 	// Routers and NIs live in two contiguous arrays: the per-cycle loops
 	// walk them in index order, so locality matters more than it would for
 	// individually boxed objects.
-	rbuf := make([]Router, mesh.N())
-	nbuf := make([]NI, mesh.N())
-	n.routers = make([]*Router, mesh.N())
-	n.nis = make([]*NI, mesh.N())
-	for id := 0; id < mesh.N(); id++ {
+	rbuf := make([]Router, n.nn)
+	nbuf := make([]NI, n.nn)
+	n.routers = make([]*Router, n.nn)
+	n.nis = make([]*NI, n.nn)
+	for id := 0; id < n.nn; id++ {
 		n.routers[id] = &rbuf[id]
 		initRouter(n.routers[id], id, n)
 		n.nis[id] = &nbuf[id]
@@ -205,7 +214,7 @@ func New(p Params) (*Network, error) {
 	if p.Design == NoRD && p.ForcedOff {
 		// Routers start gated off: each ring upstream holds the single
 		// bypass-latch credit per VC (Section 4.3).
-		for id := 0; id < mesh.N(); id++ {
+		for id := 0; id < n.nn; id++ {
 			out := n.ring.OutDir(id)
 			for v := range n.routers[id].outCredits[out] {
 				n.routers[id].outCredits[out][v] = 1
@@ -227,8 +236,14 @@ func MustNew(p Params) *Network {
 // Params returns the network's configuration.
 func (n *Network) Params() Params { return n.p }
 
-// Mesh returns the underlying mesh topology.
-func (n *Network) Mesh() topology.Mesh { return n.mesh }
+// Mesh returns the terminal grid: the coordinate frame traffic patterns
+// and injection addresses live in. For mesh and torus it coincides with
+// the router grid; for the concentrated mesh it is the 2Wx2H terminal
+// grid (four terminals per router).
+func (n *Network) Mesh() topology.Mesh { return n.term }
+
+// Topo returns the router-level topology.
+func (n *Network) Topo() topology.Topology { return n.topo }
 
 // Ring returns the bypass ring (nil for non-NoRD designs).
 func (n *Network) Ring() *topology.Ring { return n.ring }
@@ -293,8 +308,8 @@ func (n *Network) FinishMeasurement() {
 func (n *Network) NewPacket(src, dst int, class flit.Class, length int) *flit.Packet {
 	n.nextPktID++
 	pool := &n.shards[0].pool
-	if src >= 0 && src < n.nn {
-		pool = &n.shardFor(src).pool
+	if src >= 0 && src < n.term.N() {
+		pool = &n.shardFor(n.topo.TerminalRouter(src)).pool
 	}
 	p := pool.Packet()
 	p.ID = n.nextPktID
@@ -310,15 +325,29 @@ func (n *Network) NewPacket(src, dst int, class flit.Class, length int) *flit.Pa
 func (n *Network) SetInjectHook(f func(*flit.Packet, uint64)) { n.injectHook = f }
 
 // Inject queues a packet at its source NI; it reports false when the
-// injection queue is full (backpressure to the traffic source).
+// injection queue is full (backpressure to the traffic source). Src and
+// Dst are terminal IDs; on concentrated topologies they are rewritten to
+// the serving routers' IDs once the packet is accepted. Terminals of the
+// same router exchange packets over the widened local port without
+// entering the network.
 func (n *Network) Inject(p *flit.Packet) bool {
-	if !n.mesh.Valid(p.Src) || !n.mesh.Valid(p.Dst) || p.Src == p.Dst {
+	if !n.term.Valid(p.Src) || !n.term.Valid(p.Dst) || p.Src == p.Dst {
 		return false
 	}
-	n.activate(p.Src)
-	if !n.nis[p.Src].inject(p) {
+	src, dst := p.Src, p.Dst
+	if n.conc > 1 {
+		src = n.topo.TerminalRouter(src)
+		dst = n.topo.TerminalRouter(dst)
+	}
+	n.activate(src)
+	if src == dst {
+		if !n.nis[src].injectLocal(p) {
+			return false
+		}
+	} else if !n.nis[src].inject(p) {
 		return false
 	}
+	p.Src, p.Dst = src, dst
 	if n.injectHook != nil {
 		n.injectHook(p, n.cycle)
 	}
@@ -615,7 +644,7 @@ func (n *Network) nodeNeedsTick(id int) bool {
 	if ni.curMode != modeNone || len(ni.curFlits) > 0 || ni.injectOut != nil {
 		return true
 	}
-	if len(ni.ejPend) > 0 || len(ni.toLocal) > 0 {
+	if len(ni.ejPend) > 0 || len(ni.toLocal) > 0 || len(ni.localQ) > 0 {
 		return true
 	}
 	if ni.window.Sum() > 0 {
@@ -748,6 +777,9 @@ func (n *Network) collectInFlightDump(limit int) []fault.PacketDump {
 		}
 		for _, tf := range ni.toLocal {
 			addFlit(tf.f, fmt.Sprintf("NI %d local wire", id))
+		}
+		for _, tp := range ni.localQ {
+			add(tp.p, fmt.Sprintf("NI %d local crossbar", id))
 		}
 	}
 	for id, r := range n.routers {
@@ -1129,7 +1161,7 @@ func (n *Network) PerRouterReports() []RouterReport {
 		perf[id] = true
 	}
 	for id, r := range n.routers {
-		x, y := n.mesh.Coord(id)
+		x, y := n.topo.Coord(id)
 		it := n.idle[id]
 		total := it.IdleCycles() + it.BusyCycles()
 		rep := RouterReport{
@@ -1163,5 +1195,6 @@ func (n *Network) HasPGController() bool { return n.p.Design.PowerGated() }
 // HasBypass reports whether the NoRD bypass datapath is present.
 func (n *Network) HasBypass() bool { return n.p.Design == NoRD }
 
-// NumLinks returns the number of unidirectional inter-router channels.
-func (n *Network) NumLinks() int { return n.p.numLinks() }
+// NumLinks returns the number of unidirectional inter-router channels
+// (torus wrap links included).
+func (n *Network) NumLinks() int { return n.topo.NumLinks() }

@@ -21,6 +21,14 @@ type timedFlit struct {
 	at uint64
 }
 
+// timedPkt is a whole packet in flight over the NI-local crossbar of a
+// concentrated router (terminal-to-terminal traffic that never enters
+// the network).
+type timedPkt struct {
+	p  *flit.Packet
+	at uint64
+}
+
 // pktQueue is a growable ring buffer of queued packets (the NI injection
 // queue). It replaces a plain slice whose pop-front reslicing leaked
 // capacity and reallocated on the hot path.
@@ -104,6 +112,11 @@ type NI struct {
 	toLocal []timedFlit
 	// ejPend holds flits in flight from the router's Local output.
 	ejPend []timedFlit
+	// localQ holds intra-router packets (terminals of the same
+	// concentrated router) crossing the NI-local path: wire plus
+	// serialization latency, no router involvement, no wakeup. Always
+	// empty at concentration 1.
+	localQ []timedPkt
 
 	// Bypass engine (NoRD only).
 	latch     []*flit.Flit // one-flit latch per ring VC
@@ -194,6 +207,22 @@ func (ni *NI) inject(p *flit.Packet) bool {
 	p.InjectTime = ni.net.cycle
 	ni.injQ[c].pushBack(p)
 	ni.queuedTotal++
+	ni.net.notePacketInjected(p)
+	return true
+}
+
+// injectLocal accepts an intra-router packet: its source and destination
+// terminals share this concentrated router, so it crosses the NI-local
+// path (wire + serialization delay) without touching the network or
+// waking the router. Reports false (backpressure) when the local queue
+// is full.
+func (ni *NI) injectLocal(p *flit.Packet) bool {
+	if len(ni.localQ) >= ni.net.p.InjectQueueDepth {
+		return false
+	}
+	p.InjectTime = ni.net.cycle
+	p.EnqueueTime = ni.net.cycle
+	ni.localQ = append(ni.localQ, timedPkt{p: p, at: ni.net.cycle + 2 + uint64(p.Length)})
 	ni.net.notePacketInjected(p)
 	return true
 }
@@ -365,6 +394,20 @@ func (ni *NI) tickDeliver() {
 		ni.sh.pool.PutFlit(tf.f)
 	}
 	ni.ejPend = keepEj
+	if len(ni.localQ) > 0 {
+		keepLoc := ni.localQ[:0]
+		for _, tp := range ni.localQ {
+			if tp.at > now {
+				keepLoc = append(keepLoc, tp)
+				continue
+			}
+			if ni.net.collecting && tp.p.InjectTime >= ni.net.measureFrom {
+				ni.sh.col.LocalFlits += uint64(tp.p.Length)
+			}
+			ni.net.deliverPacket(ni.sh, tp.p)
+		}
+		ni.localQ = keepLoc
+	}
 	keepIn := ni.toLocal[:0]
 	for _, tf := range ni.toLocal {
 		if tf.at > now {
@@ -674,14 +717,19 @@ func (ni *NI) tickInjection(r *Router) uint32 {
 		if ni.net.cycle <= ni.allocCycle {
 			return 0
 		}
-		if ni.localCredits[ni.curVC] <= 0 {
-			return 0
+		// A concentrated local port is C flits wide: up to C flits of the
+		// in-progress packet enter the router per cycle (one at
+		// concentration 1, the plain mesh behaviour).
+		for k := 0; k < ni.net.conc && len(ni.curFlits) > 0; k++ {
+			if ni.localCredits[ni.curVC] <= 0 {
+				break
+			}
+			f := ni.curFlits[0]
+			ni.curFlits = ni.curFlits[1:]
+			ni.localCredits[ni.curVC]--
+			f.VC = ni.curVC
+			ni.toLocal = append(ni.toLocal, timedFlit{f: f, at: ni.net.cycle + 1})
 		}
-		f := ni.curFlits[0]
-		ni.curFlits = ni.curFlits[1:]
-		ni.localCredits[ni.curVC]--
-		f.VC = ni.curVC
-		ni.toLocal = append(ni.toLocal, timedFlit{f: f, at: ni.net.cycle + 1})
 		if len(ni.curFlits) == 0 {
 			ni.curMode = modeNone
 		}

@@ -9,6 +9,7 @@ import (
 	"nord/internal/fault"
 	"nord/internal/obs"
 	"nord/internal/stats"
+	"nord/internal/topology"
 	"nord/internal/traffic"
 )
 
@@ -57,6 +58,22 @@ func TestParallelMatchesSerial(t *testing.T) {
 		{"NoRD_forced_off", 0.05, func(p *Params) {
 			p.Design = NoRD
 			p.ForcedOff = true
+		}},
+		{"ConvPG_torus", 0.10, func(p *Params) {
+			p.Design = ConvPG
+			p.Topology = topology.KindTorus
+		}},
+		{"NoRD_torus", 0.10, func(p *Params) {
+			p.Design = NoRD
+			p.Topology = topology.KindTorus
+		}},
+		{"NoPG_cmesh", 0.10, func(p *Params) {
+			p.Design = NoPG
+			p.Topology = topology.KindCMesh
+		}},
+		{"NoRD_cmesh", 0.05, func(p *Params) {
+			p.Design = NoRD
+			p.Topology = topology.KindCMesh
 		}},
 	}
 	for _, tc := range cases {
@@ -133,11 +150,17 @@ func TestParallelMatchesSerialFaults(t *testing.T) {
 		{"ConvPG_corrupt_links", ConvPG, fault.Config{
 			Seed: 9, Horizon: 3500, CorruptLinks: 32,
 		}},
+		{"NoRD_torus_faults", NoRD, fault.Config{
+			Seed: 17, Horizon: 3500, CorruptLinks: 24, DropWakeups: 2, StuckOff: 1, HardFails: 1,
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			p := DefaultParams(tc.design)
 			p.Width, p.Height = 8, 8
+			if tc.name == "NoRD_torus_faults" {
+				p.Topology = topology.KindTorus
+			}
 
 			sCol, sRep, sInFlight := faultedRun(t, p, 1, tc.cfg, 0.10, 13, 1000, 3000)
 			if sRep.FlitsCorrupted == 0 {
@@ -224,16 +247,21 @@ func TestParallelSoak(t *testing.T) {
 	})
 	for _, tc := range []struct {
 		design Design
+		topo   topology.Kind
 		seed   int64
 		cpus   int
 	}{
-		{NoRD, 31, 5},
-		{ConvPGOpt, 32, 7},
-		{NoPG, 33, 4},
+		{NoRD, topology.KindMesh, 31, 5},
+		{ConvPGOpt, topology.KindMesh, 32, 7},
+		{NoPG, topology.KindMesh, 33, 4},
+		{NoRD, topology.KindTorus, 34, 6},
+		{ConvPG, topology.KindTorus, 35, 3},
+		{NoRD, topology.KindCMesh, 36, 5},
 	} {
-		t.Run(fmt.Sprintf("%s_seed%d_P%d", tc.design, tc.seed, tc.cpus), func(t *testing.T) {
+		t.Run(fmt.Sprintf("%s_%v_seed%d_P%d", tc.design, tc.topo, tc.seed, tc.cpus), func(t *testing.T) {
 			p := DefaultParams(tc.design)
 			p.Width, p.Height = 8, 8
+			p.Topology = tc.topo
 			sCol, _, _ := parallelRun(t, p, 1, 0.15, tc.seed, 400, 1200)
 			pCol, _, _ := parallelRun(t, p, tc.cpus, 0.15, tc.seed, 400, 1200)
 			if !reflect.DeepEqual(sCol, pCol) {

@@ -8,6 +8,8 @@ package noc
 import (
 	"fmt"
 	"strings"
+
+	"nord/internal/topology"
 )
 
 // Design selects the power-gating scheme (Section 5.1's comparison set).
@@ -73,8 +75,15 @@ func DesignByName(s string) (Design, error) {
 // Params configures a network. The zero value is not usable; start from
 // DefaultParams.
 type Params struct {
-	// Width, Height give the mesh dimensions (Table 1: 4x4 and 8x8).
+	// Width, Height give the router-grid dimensions (Table 1: 4x4 and
+	// 8x8). For the concentrated mesh this is the router grid; the
+	// terminal grid is twice as large in each dimension.
 	Width, Height int
+	// Topology selects the network topology: the zero value is the 2D
+	// mesh; KindTorus adds wraparound links (with a second escape VC for
+	// the dateline discipline); KindCMesh concentrates 4 terminals per
+	// router behind a widened local port.
+	Topology topology.Kind
 	// Classes is the number of protocol classes (1 for synthetic traffic,
 	// 2 for the coherence substrate: requests and responses).
 	Classes int
@@ -201,17 +210,20 @@ func DefaultParams(d Design) Params {
 // Validate checks parameter consistency.
 func (p *Params) Validate() error {
 	if p.Width < 2 || p.Height < 2 {
-		return fmt.Errorf("noc: mesh must be at least 2x2, got %dx%d", p.Width, p.Height)
+		return fmt.Errorf("noc: router grid must be at least 2x2, got %dx%d", p.Width, p.Height)
+	}
+	if _, err := topology.New(p.Topology, p.Width, p.Height); err != nil {
+		return err
 	}
 	if p.Classes < 1 {
 		return fmt.Errorf("noc: need at least one protocol class, got %d", p.Classes)
 	}
-	minVCs := 2
-	if p.Design == NoRD {
-		minVCs = 3 // 2 escape (ring dateline pair) + >=1 adaptive
-	}
+	// Escape VCs (the ring dateline pair for NoRD, the torus dateline
+	// pair for conventional designs) plus at least one adaptive VC.
+	minVCs := p.escapeVCs() + 1
 	if p.VCsPerClass < minVCs {
-		return fmt.Errorf("noc: design %v needs at least %d VCs per class, got %d", p.Design, minVCs, p.VCsPerClass)
+		return fmt.Errorf("noc: design %v on %v needs at least %d VCs per class, got %d",
+			p.Design, p.Topology, minVCs, p.VCsPerClass)
 	}
 	if p.vcsPerPort() > 64 {
 		// The per-phase VC occupancy masks carry one bit per VC and port.
@@ -260,9 +272,12 @@ func (p *Params) Validate() error {
 // vcsPerPort returns the total number of VCs at each router port.
 func (p *Params) vcsPerPort() int { return p.Classes * p.VCsPerClass }
 
-// escapeVCs returns the number of escape VCs per class for the design.
+// escapeVCs returns the number of escape VCs per class. NoRD always uses
+// the ring dateline pair; conventional designs need one XY escape VC on a
+// mesh (or cmesh) and a dateline pair on a torus, whose wrap links close
+// rings the single-VC Duato escape cannot break.
 func (p *Params) escapeVCs() int {
-	if p.Design == NoRD {
+	if p.Design == NoRD || p.Topology == topology.KindTorus {
 		return 2
 	}
 	return 1
@@ -271,10 +286,5 @@ func (p *Params) escapeVCs() int {
 // vcBase returns the first VC index of class c.
 func (p *Params) vcBase(c int) int { return c * p.VCsPerClass }
 
-// NumNodes returns the node count.
+// NumNodes returns the router count.
 func (p *Params) NumNodes() int { return p.Width * p.Height }
-
-// numLinks returns the number of unidirectional inter-router channels.
-func (p *Params) numLinks() int {
-	return 2 * (p.Width*(p.Height-1) + p.Height*(p.Width-1))
-}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"nord/internal/topology"
 	"nord/internal/traffic"
 )
 
@@ -102,26 +103,32 @@ func BenchmarkKernelParallel(b *testing.B) {
 }
 
 // TestSteadyStateZeroAllocs proves the tick hot path is allocation-free
-// in steady state for all four designs: after warmup, whole simulated
-// cycles (traffic generation included) must not allocate.
+// in steady state for all four designs and all three topologies: after
+// warmup, whole simulated cycles (traffic generation included) must not
+// allocate. The topology interface calls, the torus dateline escape-VC
+// computation, and the concentrated local-port crossbar slots are all on
+// the hot path and must not escape to the heap.
 func TestSteadyStateZeroAllocs(t *testing.T) {
-	for _, d := range []Design{NoPG, ConvPG, ConvPGOpt, NoRD} {
-		t.Run(d.String(), func(t *testing.T) {
-			p := DefaultParams(d)
-			p.Width, p.Height = 8, 8
-			n := MustNew(p)
-			inj := traffic.NewSynthetic(n, traffic.UniformRandom, 0.02, 11)
-			for c := 0; c < 5000; c++ {
-				inj.Tick(n.Cycle())
-				n.Tick()
-			}
-			avg := testing.AllocsPerRun(300, func() {
-				inj.Tick(n.Cycle())
-				n.Tick()
+	for _, topo := range []topology.Kind{topology.KindMesh, topology.KindTorus, topology.KindCMesh} {
+		for _, d := range []Design{NoPG, ConvPG, ConvPGOpt, NoRD} {
+			t.Run(fmt.Sprintf("%s/%s", d, topo), func(t *testing.T) {
+				p := DefaultParams(d)
+				p.Width, p.Height = 8, 8
+				p.Topology = topo
+				n := MustNew(p)
+				inj := traffic.NewSynthetic(n, traffic.UniformRandom, 0.02, 11)
+				for c := 0; c < 5000; c++ {
+					inj.Tick(n.Cycle())
+					n.Tick()
+				}
+				avg := testing.AllocsPerRun(300, func() {
+					inj.Tick(n.Cycle())
+					n.Tick()
+				})
+				if avg != 0 {
+					t.Errorf("%s/%s: steady-state tick allocates %.4f allocs/op, want 0", d, topo, avg)
+				}
 			})
-			if avg != 0 {
-				t.Errorf("%s: steady-state tick allocates %.4f allocs/op, want 0", d, avg)
-			}
-		})
+		}
 	}
 }

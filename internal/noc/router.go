@@ -113,8 +113,12 @@ type Router struct {
 	outOwner   [topology.NumDirs][]owner
 
 	// stReg[dir] holds the flit that won SA last cycle and traverses the
-	// crossbar to output dir this cycle.
-	stReg [topology.NumDirs]*flit.Flit
+	// crossbar to output dir this cycle. On a concentrated topology the
+	// Local output is C flits wide: stLocalX holds the C-1 extra Local
+	// ejection slots (nil slice at concentration 1, so the mesh pipeline
+	// is untouched).
+	stReg    [topology.NumDirs]*flit.Flit
+	stLocalX []*flit.Flit
 
 	state       powerState
 	wakeCounter int
@@ -252,15 +256,19 @@ func initRouter(r *Router, id int, net *Network) {
 			st.vcIdx = uint8(v)
 			r.in[d][v] = st
 			r.outOwner[d][v] = ownerFree
-			// Credits toward real neighbors are the downstream buffer
-			// depth; the Local output (ejection) is modelled as an
-			// always-available sink via the stReg only.
+			// Credits toward wired neighbors are the downstream buffer
+			// depth (on a torus every grid port is wired); the Local
+			// output (ejection) is modelled as an always-available sink
+			// via the stReg only.
 			if d != topology.Local {
-				if _, ok := net.mesh.Neighbor(id, d); ok {
+				if _, ok := net.topo.Neighbor(id, d); ok {
 					r.outCredits[d][v] = p.BufferDepth
 				}
 			}
 		}
+	}
+	if c := net.conc; c > 1 {
+		r.stLocalX = make([]*flit.Flit, c-1)
 	}
 	if p.Design.PowerGated() && p.ForcedOff {
 		r.state = powerOff
@@ -304,6 +312,15 @@ func (r *Router) tickST() {
 			continue
 		}
 		r.net.sendLink(r.id, d, f)
+	}
+	// Extra Local ejection slots of a widened (concentrated) local port.
+	for i, f := range r.stLocalX {
+		if f == nil {
+			continue
+		}
+		r.stLocalX[i] = nil
+		r.stFlits--
+		r.net.nis[r.id].deliverEject(f)
 	}
 }
 
@@ -405,6 +422,54 @@ func (r *Router) tickSA() {
 					r.setPhase(vc, r.freshHeadPhase())
 				}
 			}
+		}
+	}
+	// A concentrated local port ejects up to C flits per cycle: grant the
+	// C-1 extra Local slots to further active ejecting VCs. Each input
+	// port still has a single read port, so portRead carries over from
+	// the main pass. Empty on concentration-1 topologies.
+	for i := range r.stLocalX {
+		if r.stLocalX[i] != nil {
+			continue
+		}
+		for k := 0; k < len(cands); k++ {
+			ci := k + rrCand
+			if ci >= len(cands) {
+				ci -= len(cands)
+			}
+			c := cands[ci]
+			d, v, vc := c.d, c.v, c.vc
+			if vc.route != topology.Local || portRead[d] || vc.phase != vcActive || vc.empty() {
+				continue
+			}
+			f := vc.pop()
+			r.bufFlits--
+			f.VC = vc.outVC
+			portRead[d] = true
+			if r.net.p.TwoStageRouter {
+				r.net.nis[r.id].deliverEject(f)
+			} else {
+				r.stLocalX[i] = f
+				r.stFlits++
+			}
+			r.saGrantsThisCycle++
+			if r.net.collecting {
+				r.statSAGrants++
+			}
+			r.net.noteSAGrant(r.sh, d)
+			r.net.creditReturn(r.sh, r.id, d, v)
+			if f.Kind.IsTail() {
+				r.setPhase(vc, vcIdle)
+				if h := vc.head(); h != nil {
+					if !h.Kind.IsHead() {
+						r.net.failSh(r.sh, &fault.ProtocolError{Cycle: r.net.cycle, Router: r.id,
+							Msg: "non-head flit follows a tail in a VC buffer"})
+						break
+					}
+					r.setPhase(vc, r.freshHeadPhase())
+				}
+			}
+			break
 		}
 	}
 	r.rr++

@@ -36,36 +36,26 @@ type decision struct {
 	wuDelay    int
 }
 
-// routeTableMaxNodes bounds the meshes for which the quadratic per-pair
-// routing tables are precomputed (a 32x32 mesh costs ~5 MB). Larger
-// meshes compute directions arithmetically — still allocation-free.
+// routeTableMaxNodes bounds the grids for which the quadratic per-pair
+// routing tables are precomputed (a 32x32 grid costs ~5 MB). Larger
+// networks compute directions through the topology — still
+// allocation-free (MinimalSet returns by value).
 const routeTableMaxNodes = 1024
 
-// dirSet is a precomputed minimal-direction set (at most two directions
-// on a mesh), stored compactly in the per-pair routing table.
-type dirSet struct {
-	d   [2]topology.Dir
-	cnt uint8
-}
-
 // buildRouteTables precomputes the per-(src,dst) minimal-direction sets
-// and XY escape directions so route computation is a table lookup instead
-// of coordinate arithmetic plus a fresh slice per decision.
+// and deterministic (XY/DOR) escape directions so route computation is a
+// table lookup instead of coordinate arithmetic plus a fresh slice per
+// decision.
 func (n *Network) buildRouteTables() {
 	if n.nn > routeTableMaxNodes {
 		return
 	}
-	n.minDirs = make([]dirSet, n.nn*n.nn)
+	n.minDirs = make([]topology.DirSet, n.nn*n.nn)
 	n.xyDirs = make([]topology.Dir, n.nn*n.nn)
 	for s := 0; s < n.nn; s++ {
 		for t := 0; t < n.nn; t++ {
-			var e dirSet
-			for _, d := range n.mesh.MinimalDirs(s, t) {
-				e.d[e.cnt] = d
-				e.cnt++
-			}
-			n.minDirs[s*n.nn+t] = e
-			n.xyDirs[s*n.nn+t] = n.mesh.XYDir(s, t)
+			n.minDirs[s*n.nn+t] = n.topo.MinimalSet(s, t)
+			n.xyDirs[s*n.nn+t] = n.topo.XYDir(s, t)
 		}
 	}
 }
@@ -73,36 +63,20 @@ func (n *Network) buildRouteTables() {
 // minimalDirSet returns the minimal-progress directions from src to dst
 // by value, so callers can slice a stack copy and reorder it in place
 // without touching the shared table.
-func (n *Network) minimalDirSet(src, dst int) dirSet {
+func (n *Network) minimalDirSet(src, dst int) topology.DirSet {
 	if n.minDirs != nil {
 		return n.minDirs[src*n.nn+dst]
 	}
-	var e dirSet
-	sx, sy := n.mesh.Coord(src)
-	dx, dy := n.mesh.Coord(dst)
-	if dx > sx {
-		e.d[e.cnt] = topology.East
-		e.cnt++
-	} else if dx < sx {
-		e.d[e.cnt] = topology.West
-		e.cnt++
-	}
-	if dy > sy {
-		e.d[e.cnt] = topology.South
-		e.cnt++
-	} else if dy < sy {
-		e.d[e.cnt] = topology.North
-		e.cnt++
-	}
-	return e
+	return n.topo.MinimalSet(src, dst)
 }
 
-// xyDir returns the XY (dimension-order) direction from src toward dst.
+// xyDir returns the deterministic dimension-order direction from src
+// toward dst (XY on a mesh, shortest-way-around DOR on a torus).
 func (n *Network) xyDir(src, dst int) topology.Dir {
 	if n.xyDirs != nil {
 		return n.xyDirs[src*n.nn+dst]
 	}
-	return n.mesh.XYDir(src, dst)
+	return n.topo.XYDir(src, dst)
 }
 
 // escapeForceAfter is the number of failed VA attempts after which a
@@ -143,14 +117,14 @@ func (n *Network) routeConv(r *Router, pkt *flit.Packet, vaFails int) decision {
 	adaptiveLo := base + n.p.escapeVCs()
 	adaptiveHi := base + n.p.VCsPerClass
 	xy := n.xyDir(r.id, pkt.Dst)
-	xyNb, _ := n.mesh.Neighbor(r.id, xy)
+	xyNb, _ := n.neighbor(r.id, xy)
 
 	cands := r.sh.candScratch[:0]
 	if !pkt.Escaped {
 		// Adaptive candidates: minimal directions whose router is on,
 		// best-credit first.
 		ds := n.minimalDirSet(r.id, pkt.Dst)
-		dirs := ds.d[:ds.cnt]
+		dirs := ds.Dirs[:ds.Cnt]
 		n.orderByCredit(r, dirs, adaptiveLo, adaptiveHi)
 		for _, d := range dirs {
 			nb, ok := n.neighbor(r.id, d)
@@ -162,10 +136,16 @@ func (n *Network) routeConv(r *Router, pkt *flit.Packet, vaFails int) decision {
 			}
 		}
 	}
-	// Escape fallback: the XY output's escape VC, usable only when that
-	// router is on.
+	// Escape fallback: the deterministic (XY/DOR) output's escape VC,
+	// usable only when that router is on. On a torus the escape class is
+	// the dateline VC pair; on a mesh convEscapeVC is always 0.
 	if n.routers[xyNb].on() {
-		cands = append(cands, cand{dir: xy, vc: base, escape: true})
+		cands = append(cands, cand{
+			dir:          xy,
+			vc:           base + n.convEscapeVC(r.id, xy, pkt),
+			escape:       true,
+			escapeVCNext: n.convEscapeVCNext(r.id, xy, pkt),
+		})
 	}
 	r.sh.candScratch = cands
 	if len(cands) == 0 {
@@ -222,7 +202,7 @@ func (n *Network) routeNoRD(r *Router, inDir topology.Dir, pkt *flit.Packet, vaF
 	var dec decision
 	dec.cands = r.sh.candScratch[:0]
 	ds := n.minimalDirSet(r.id, pkt.Dst)
-	dirs := ds.d[:ds.cnt]
+	dirs := ds.Dirs[:ds.Cnt]
 	n.orderByCredit(r, dirs, adaptiveLo, adaptiveHi)
 	usable := 0
 	for _, d := range dirs {
@@ -290,7 +270,7 @@ func (n *Network) bypassCands(r *Router, pkt *flit.Packet, fails int) []cand {
 	}
 	misroute := true
 	ds := n.minimalDirSet(r.id, pkt.Dst)
-	for _, d := range ds.d[:ds.cnt] {
+	for _, d := range ds.Dirs[:ds.Cnt] {
 		if d == ringOut {
 			misroute = false
 		}
@@ -306,6 +286,50 @@ func (n *Network) bypassCands(r *Router, pkt *flit.Packet, fails int) []cand {
 	}
 	r.sh.candScratch = cands
 	return cands
+}
+
+// convEscapeVC returns the escape VC (within the class's escape set) a
+// conventional-design packet must use on the deterministic escape link
+// out of router id through dir. On a mesh (and cmesh) the escape class is
+// a single XY VC: always 0. On a torus the escape class is a dateline
+// pair per dimension ring: the wrap link always carries VC 1, links
+// before the dateline VC 0 and links after it VC 1 (the packet's position
+// is tracked in pkt.EscapeVC and reset at each dimension change), so the
+// channel order within each directed ring is strictly increasing and no
+// escape-channel cycle survives.
+func (n *Network) convEscapeVC(id int, d topology.Dir, pkt *flit.Packet) int {
+	if n.topo.WrapLink(id, d) {
+		return 1
+	}
+	if pkt.Escaped {
+		return pkt.EscapeVC
+	}
+	return 0
+}
+
+// convEscapeVCNext returns the escape VC the packet holds after
+// traversing the escape link out of id through d: reset to 0 when the
+// next hop starts a new dimension (dimension-ordered escape routing makes
+// cross-dimension dependences acyclic, and minimal DOR crosses each
+// dateline at most once), otherwise the VC used on this link (1 from the
+// dateline crossing onward).
+func (n *Network) convEscapeVCNext(id int, d topology.Dir, pkt *flit.Packet) int {
+	nb, ok := n.neighbor(id, d)
+	if !ok || nb == pkt.Dst {
+		return 0
+	}
+	if dimOf(d) != dimOf(n.xyDir(nb, pkt.Dst)) {
+		return 0
+	}
+	return n.convEscapeVC(id, d, pkt)
+}
+
+// dimOf returns the dimension (0 = X, 1 = Y) of a grid direction.
+func dimOf(d topology.Dir) int {
+	if d == topology.East || d == topology.West {
+		return 0
+	}
+	return 1
 }
 
 // ringEscapeVC returns the escape VC (within the class's escape pair) a

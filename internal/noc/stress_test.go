@@ -32,7 +32,7 @@ func checkQuiescentInvariants(t *testing.T, n *Network) {
 			if d == topology.Local {
 				continue
 			}
-			nb, ok := n.mesh.Neighbor(id, d)
+			nb, ok := n.topo.Neighbor(id, d)
 			if !ok {
 				continue
 			}

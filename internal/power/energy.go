@@ -29,10 +29,25 @@ type Counts struct {
 	BypassHops          uint64 // flits forwarded through a gated-off NI bypass
 	BypassInjections    uint64 // local flits injected via the bypass outport
 	BypassEjections     uint64 // flits sunk at the local node via the bypass latch
+	LocalFlits          uint64 // flits crossing a concentrated router's NI-local path
+
+	// LinkLengthFactor scales link energy (static and dynamic) for
+	// topologies whose channels span more than one mesh tile pitch (2.0
+	// for the folded torus and the concentrated mesh). The zero value is
+	// treated as 1.0, the plain-mesh pitch.
+	LinkLengthFactor float64
 
 	// HasPGController / HasBypass select which always-on adders apply.
 	HasPGController bool
 	HasBypass       bool
+}
+
+// linkLength returns the effective link-length scale (zero value = 1.0).
+func (c Counts) linkLength() float64 {
+	if c.LinkLengthFactor == 0 {
+		return 1.0
+	}
+	return c.LinkLengthFactor
 }
 
 // Breakdown is the NoC energy decomposition in joules, mirroring the bands
@@ -68,18 +83,23 @@ func (m *Model) Energy(c Counts) Breakdown {
 		b.RouterStatic += float64(c.Cycles) * float64(c.Routers) * m.BypassStaticW() * cyc
 	}
 
-	// Router dynamic.
+	// Router dynamic. Local-path flits of a concentrated router are
+	// charged like bypass hops: a latch-to-latch hop that skips the full
+	// buffered pipeline.
 	b.RouterDynamic = float64(c.BufWrites)*m.EBufferWrite() +
 		float64(c.BufReads)*m.EBufferRead() +
 		float64(c.XbarTraversals)*m.EXbar() +
 		float64(c.VAArbs)*m.EVAArb() +
 		float64(c.SAArbs)*m.ESAArb() +
 		float64(c.ClockedFlitHops)*m.EClockDyn() +
-		float64(c.BypassHops+c.BypassInjections+c.BypassEjections)*m.EBypassHop()
+		float64(c.BypassHops+c.BypassInjections+c.BypassEjections+c.LocalFlits)*m.EBypassHop()
 
-	// Links.
-	b.LinkStatic = float64(c.Cycles) * float64(c.Links) * m.LinkStaticW() * cyc
-	b.LinkDynamic = float64(c.LinkTraversals) * m.ELink()
+	// Links: wire capacitance and leakage scale with the physical span,
+	// so longer channels (folded torus, concentrated mesh) cost
+	// proportionally more per traversal and per idle cycle.
+	ll := c.linkLength()
+	b.LinkStatic = float64(c.Cycles) * float64(c.Links) * m.LinkStaticW() * cyc * ll
+	b.LinkDynamic = float64(c.LinkTraversals) * m.ELink() * ll
 
 	// Power-gating overhead.
 	b.PGOverhead = float64(c.Wakeups) * m.WakeupEnergy()

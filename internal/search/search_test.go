@@ -148,6 +148,28 @@ func TestDecodeRepair(t *testing.T) {
 		t.Fatalf("aliased genomes decode differently:\n%+v\n%+v", cand.Sim, cand2.Sim)
 	}
 
+	// A 2-VC conventional design on the torus is repaired to the 3-VC
+	// minimum its dateline escape pair requires, and the alias name
+	// "concentrated" canonicalizes to "cmesh".
+	spTopo := testSpec("nsga2")
+	spTopo.Space.Topologies = []string{"torus", "concentrated"}
+	gt := Genome{axisDesign: nopg, axisTopology: 0, axisVCs: 0}
+	ct, err := spTopo.decode(gt, spTopo.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.Config.Topology != "torus" || ct.Config.VCs != 3 || ct.Sim.VCsPerClass != 3 {
+		t.Fatalf("torus 2-VC genome not repaired: %+v", ct.Config)
+	}
+	gc := Genome{axisDesign: nopg, axisTopology: 1, axisVCs: 0}
+	cc, err := spTopo.decode(gc, spTopo.Measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Config.Topology != "cmesh" || cc.Sim.Topology != "cmesh" {
+		t.Fatalf("alias topology not canonicalized: %+v", cc.Config)
+	}
+
 	// No_PG never gates: its gate-idle and wake genes are inert, and the
 	// decoded config canonicalizes them away.
 	gp := Genome{axisDesign: nopg, axisVCs: 2, axisGateIdle: 0, axisWake: 0}
@@ -170,8 +192,12 @@ func TestDriverDeterministic(t *testing.T) {
 		t.Run(alg, func(t *testing.T) {
 			run := func() []byte {
 				eval := fakeEval(nil)
+				spec := testSpec(alg)
+				// Exercise the topology axis: reruns must reproduce the
+				// front byte for byte across mixed-topology candidates too.
+				spec.Space.Topologies = []string{"mesh", "torus", "cmesh"}
 				d := &Driver{
-					Spec:        testSpec(alg),
+					Spec:        spec,
 					Concurrency: 8,
 					Eval: func(ctx context.Context, cand Candidate) (Evaluation, error) {
 						// Jitter completion order to shake out ordering bugs.
@@ -454,7 +480,8 @@ func TestSpecValidate(t *testing.T) {
 		"measure":   func(sp *Spec) { sp.Measure = 10 },
 		"pattern":   func(sp *Spec) { sp.Pattern = "zigzag" },
 		"design":    func(sp *Spec) { sp.Space.Designs = []string{"NoRD", "NoRD"} },
-		"topology":  func(sp *Spec) { sp.Space.Topologies = []string{"torus"} },
+		"topology":  func(sp *Spec) { sp.Space.Topologies = []string{"hypercube"} },
+		"topo_dup":  func(sp *Spec) { sp.Space.Topologies = []string{"cmesh", "concentrated"} },
 		"width":     func(sp *Spec) { sp.Space.Widths = []int{1} },
 		"vcs":       func(sp *Spec) { sp.Space.VCs = []int{1} },
 		"rate":      func(sp *Spec) { sp.Space.Rates = []float64{0} },

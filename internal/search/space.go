@@ -19,6 +19,7 @@ import (
 
 	"nord/internal/noc"
 	"nord/internal/sim"
+	"nord/internal/topology"
 	"nord/internal/traffic"
 )
 
@@ -173,14 +174,23 @@ func (s *Space) validate() error {
 		}
 		seen[d] = true
 	}
+	seenTopo := map[topology.Kind]bool{}
 	for _, t := range s.Topologies {
-		if t != "mesh" {
-			return fmt.Errorf("search: unsupported topology %q (only \"mesh\" for now)", t)
+		k, err := topology.KindByName(t)
+		if err != nil {
+			return fmt.Errorf("search: %w", err)
 		}
+		if seenTopo[k] {
+			return fmt.Errorf("search: duplicate topology %q", t)
+		}
+		seenTopo[k] = true
 	}
 	for _, w := range s.Widths {
 		if w < 2 {
-			return fmt.Errorf("search: mesh width %d below the 2x2 minimum", w)
+			return fmt.Errorf("search: grid width %d below the 2x2 minimum", w)
+		}
+		if w > 256 {
+			return fmt.Errorf("search: grid width %d above the 256 limit", w)
 		}
 	}
 	for _, v := range s.VCs {
@@ -324,23 +334,29 @@ type Candidate struct {
 
 // decode maps a genome onto a runnable candidate, repairing genes a
 // design cannot express so aliased genomes collapse onto one cache key:
-// NoRD's VC count is clamped to its 3-VC minimum, wake thresholds only
-// exist for NoRD, and No_PG never gates so its gate-idle gene is inert.
+// NoRD's VC count is clamped to its 3-VC minimum (and every design's on
+// the torus, whose dateline pair needs 2 escape VCs + 1 adaptive), wake
+// thresholds only exist for NoRD, No_PG never gates so its gate-idle
+// gene is inert, and topology aliases ("concentrated") canonicalize.
 func (sp *Spec) decode(g Genome, measure int) (Candidate, error) {
 	s := &sp.Space
 	design, err := noc.DesignByName(s.Designs[g[axisDesign]])
 	if err != nil {
 		return Candidate{}, err
 	}
+	kind, err := topology.KindByName(s.Topologies[g[axisTopology]])
+	if err != nil {
+		return Candidate{}, err
+	}
 	pc := PointConfig{
 		Design:      design.String(),
-		Topology:    s.Topologies[g[axisTopology]],
+		Topology:    kind.String(),
 		Width:       s.Widths[g[axisWidth]],
 		VCs:         s.VCs[g[axisVCs]],
 		BufferDepth: s.BufferDepths[g[axisDepth]],
 		Rate:        s.Rates[g[axisRate]],
 	}
-	if design == noc.NoRD && pc.VCs < 3 {
+	if (design == noc.NoRD || kind == topology.KindTorus) && pc.VCs < 3 {
 		pc.VCs = 3
 	}
 	if design != noc.NoPG {
@@ -357,6 +373,7 @@ func (sp *Spec) decode(g Genome, measure int) (Candidate, error) {
 		Design:         design,
 		Width:          pc.Width,
 		Height:         pc.Width,
+		Topology:       pc.Topology,
 		Pattern:        sp.Pattern,
 		Rate:           pc.Rate,
 		Warmup:         warmup,

@@ -13,9 +13,11 @@ import (
 // keep the same filled values) alters them, every previously cached
 // result would be orphaned — so a change here must be deliberate.
 // (Deliberately rotated when SynthConfig gained VCsPerClass/BufferDepth/
-// GateIdleCycles: filled configs now carry those fields.)
+// GateIdleCycles, and again when it gained Topology: filled configs now
+// carry those fields, so every earlier cached synthetic result is
+// orphaned on purpose — the old keys couldn't distinguish topologies.)
 const (
-	goldenSynthKey    = "c47ad37775d0e1b328f4178e5cd6f85174e0b95e6858a146a802d56c896bdb52"
+	goldenSynthKey    = "ab93837597088efef0604b843f946abe70fbb740cd61807207fe946f418e13fc"
 	goldenWorkloadKey = "0360f9816fae68ea13f7043a30a09d8e0cc179272b6fb1c4bdbb375bf3be8a5a"
 )
 

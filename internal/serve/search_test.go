@@ -221,7 +221,7 @@ func TestSearchValidation(t *testing.T) {
 		"unknown field": `{"seed": 1, "bogus": true}`,
 		"bad algorithm": `{"algorithm": "annealing"}`,
 		"bad design":    `{"space": {"designs": ["Maglev"]}}`,
-		"bad topology":  `{"space": {"topologies": ["torus"]}}`,
+		"bad topology":  `{"space": {"topologies": ["hypercube"]}}`,
 		"tiny measure":  `{"measure": 10}`,
 	} {
 		code, _ := postSearch(t, ts, body)

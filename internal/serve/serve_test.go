@@ -353,6 +353,11 @@ func TestServerValidation(t *testing.T) {
 		{"unknown benchmark", `{"kind":"workload","workload":{"design":"nord","benchmark":"doom"}}`},
 		{"sweep without rates", `{"kind":"sweep","sweep":{}}`},
 		{"unknown field", `{"kind":"synthetic","synthetic":{"design":"nord"},"bogus":1}`},
+		{"unknown topology", `{"kind":"synthetic","synthetic":{"design":"nord","topology":"hypercube"}}`},
+		{"oversized width", `{"kind":"synthetic","synthetic":{"design":"nord","width":257,"height":4}}`},
+		{"oversized height", `{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":100000}}`},
+		{"torus needs 3 vcs", `{"kind":"synthetic","synthetic":{"design":"no_pg","topology":"torus","vcs":2}}`},
+		{"oversized sweep grid", `{"kind":"sweep","sweep":{"width":300,"height":4,"rates":[0.05]}}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -379,6 +384,52 @@ func TestServerValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// TestSweepRatesCap: the per-sweep rate list is bounded — each entry
+// fans out into a simulation per design, so an unbounded list is a
+// resource-exhaustion footgun.
+func TestSweepRatesCap(t *testing.T) {
+	over := make([]float64, maxSweepRates+1)
+	if _, err := (&SweepSpec{Rates: over}).resolve(); err == nil {
+		t.Fatalf("%d rates accepted, cap is %d", len(over), maxSweepRates)
+	}
+	if _, err := (&SweepSpec{Rates: over[:maxSweepRates]}).resolve(); err != nil {
+		t.Fatalf("at-cap rate list rejected: %v", err)
+	}
+}
+
+// TestTopologySpecRoundTrip: a topology-bearing spec must survive the
+// resolve -> filled config -> syntheticSpecFor round trip with the same
+// cache key, and distinct topologies must key differently (the cache
+// must never serve a mesh result for a torus request).
+func TestTopologySpecRoundTrip(t *testing.T) {
+	keys := map[string]string{}
+	for _, topo := range []string{"mesh", "torus", "cmesh"} {
+		sp := &SyntheticSpec{Design: "nord", Topology: topo, Width: 4, Height: 4, Rate: 0.05, Measure: 1000}
+		tk, err := sp.resolve()
+		if err != nil {
+			t.Fatalf("%s: %v", topo, err)
+		}
+		keys[topo] = tk.key
+
+		cfg := goldenSynthConfig()
+		cfg.Topology = topo
+		rt, err := syntheticSpecFor(cfg.Filled()).resolve()
+		if err != nil {
+			t.Fatalf("%s round trip: %v", topo, err)
+		}
+		direct, err := taskKey("synthetic", false, cfg.Filled())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.key != direct {
+			t.Errorf("%s: round-tripped key %s != direct key %s", topo, rt.key, direct)
+		}
+	}
+	if keys["mesh"] == keys["torus"] || keys["mesh"] == keys["cmesh"] || keys["torus"] == keys["cmesh"] {
+		t.Errorf("topologies share a cache key: %v", keys)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"nord/internal/memsys"
 	"nord/internal/noc"
 	"nord/internal/sim"
+	"nord/internal/topology"
 	"nord/internal/trace"
 	"nord/internal/traffic"
 )
@@ -31,9 +32,12 @@ type JobRequest struct {
 // it is an execution hint excluded from the job's cache key — jobs that
 // differ only in parallelism coalesce.
 type SyntheticSpec struct {
-	Design        string  `json:"design"`
-	Width         int     `json:"width"`
-	Height        int     `json:"height"`
+	Design string `json:"design"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+	// Topology selects the interconnect: "mesh" (default), "torus" or
+	// "cmesh". Width/Height size the router grid in every case.
+	Topology      string  `json:"topology,omitempty"`
 	Pattern       string  `json:"pattern"`
 	Rate          float64 `json:"rate"`
 	Warmup        *int    `json:"warmup,omitempty"`
@@ -75,6 +79,27 @@ type TraceSpec struct {
 	Seed        int64  `json:"seed"`
 	MaxCycles   uint64 `json:"max_cycles"`
 	TraceEvents bool   `json:"trace_events,omitempty"`
+}
+
+// maxGridDim caps router-grid dimensions accepted over the wire: a
+// typo'd 10000x10000 request would otherwise try to materialise ~10^8
+// routers before any simulation work reveals the mistake.
+const maxGridDim = 256
+
+// maxSweepRates caps the rate list of one sweep job; each rate fans out
+// into a full simulation per design.
+const maxSweepRates = 128
+
+// checkGridDims rejects out-of-range router grid dimensions (0 means
+// "use the default" and is allowed).
+func checkGridDims(w, h int) error {
+	if w < 0 || h < 0 {
+		return fmt.Errorf("negative dimension %dx%d", w, h)
+	}
+	if w > maxGridDim || h > maxGridDim {
+		return fmt.Errorf("grid %dx%d exceeds the %dx%d limit", w, h, maxGridDim, maxGridDim)
+	}
+	return nil
 }
 
 // warmupValue maps a spec's optional warmup onto the sim layer's
@@ -218,11 +243,18 @@ func (sp *SyntheticSpec) resolve() (*task, error) {
 	if err != nil {
 		return nil, err
 	}
+	kind, err := topology.KindByName(sp.Topology)
+	if err != nil {
+		return nil, err
+	}
 	if sp.Rate < 0 || sp.Rate > 1 {
 		return nil, fmt.Errorf("rate %g outside [0, 1] flits/node/cycle", sp.Rate)
 	}
-	if sp.Width < 0 || sp.Height < 0 || sp.Measure < 0 {
-		return nil, fmt.Errorf("negative dimension or cycle count")
+	if err := checkGridDims(sp.Width, sp.Height); err != nil {
+		return nil, err
+	}
+	if sp.Measure < 0 {
+		return nil, fmt.Errorf("negative cycle count")
 	}
 	warmup, err := warmupValue(sp.Warmup)
 	if err != nil {
@@ -241,17 +273,20 @@ func (sp *SyntheticSpec) resolve() (*task, error) {
 		return nil, fmt.Errorf("negative microarchitecture knob (vcs, buffer_depth, gate_idle, threshold_perf, threshold_power must be >= 0)")
 	}
 	if minVCs := 2; sp.VCs > 0 {
-		if design == noc.NoRD {
+		if design == noc.NoRD || kind == topology.KindTorus {
+			// NoRD's ring escape pair and the torus dateline pair both
+			// need 2 escape VCs + 1 adaptive.
 			minVCs = 3
 		}
 		if sp.VCs < minVCs {
-			return nil, fmt.Errorf("design %v needs at least %d VCs per class, got %d", design, minVCs, sp.VCs)
+			return nil, fmt.Errorf("design %v on %v needs at least %d VCs per class, got %d", design, kind, minVCs, sp.VCs)
 		}
 	}
 	cfg := sim.SynthConfig{
 		Design:         design,
 		Width:          sp.Width,
 		Height:         sp.Height,
+		Topology:       sp.Topology,
 		Pattern:        sp.Pattern,
 		Rate:           sp.Rate,
 		Warmup:         warmup,
@@ -303,6 +338,7 @@ func syntheticSpecFor(cfg sim.SynthConfig) *SyntheticSpec {
 		Design:         cfg.Design.String(),
 		Width:          cfg.Width,
 		Height:         cfg.Height,
+		Topology:       cfg.Topology,
 		Pattern:        cfg.Pattern,
 		Rate:           cfg.Rate,
 		Warmup:         &warmup,
@@ -396,6 +432,12 @@ func (sp *TraceSpec) resolve() (*task, error) {
 func (sp *SweepSpec) resolve() (*task, error) {
 	if len(sp.Rates) == 0 {
 		return nil, fmt.Errorf("sweep needs at least one rate")
+	}
+	if len(sp.Rates) > maxSweepRates {
+		return nil, fmt.Errorf("sweep has %d rates, limit %d", len(sp.Rates), maxSweepRates)
+	}
+	if err := checkGridDims(sp.Width, sp.Height); err != nil {
+		return nil, err
 	}
 	for _, r := range sp.Rates {
 		if r < 0 || r > 1 {

@@ -8,6 +8,7 @@ import (
 
 	"nord/internal/fault"
 	"nord/internal/noc"
+	"nord/internal/topology"
 	"nord/internal/traffic"
 )
 
@@ -19,10 +20,13 @@ import (
 // a structured DeadlockError instead of crashing the sweep.
 type DegradationConfig struct {
 	Width, Height int
-	Pattern       string
-	Rate          float64
-	Measure       int
-	Seed          int64
+	// Topology selects the interconnect ("" = mesh, "torus", "cmesh");
+	// Width and Height always size the router grid.
+	Topology string
+	Pattern  string
+	Rate     float64
+	Measure  int
+	Seed     int64
 	// MaxFails is the largest number of hard-failed routers (cells run
 	// 0..MaxFails inclusive).
 	MaxFails int
@@ -94,6 +98,10 @@ func DegradationSweep(c DegradationConfig) ([]DegradationPoint, error) {
 	if _, err := traffic.PatternByName(c.Pattern); err != nil {
 		return nil, err
 	}
+	// An unknown topology would fail every cell identically; reject upfront.
+	if _, err := topology.KindByName(c.Topology); err != nil {
+		return nil, err
+	}
 	if c.MaxFails < 0 {
 		return nil, fmt.Errorf("sim: negative MaxFails %d", c.MaxFails)
 	}
@@ -129,7 +137,8 @@ func DegradationSweep(c DegradationConfig) ([]DegradationPoint, error) {
 			r, err := runGuarded(func() (Result, error) {
 				return RunSynthetic(SynthConfig{
 					Design: j.design, Width: c.Width, Height: c.Height,
-					Pattern: c.Pattern, Rate: c.Rate, Measure: c.Measure,
+					Topology: c.Topology,
+					Pattern:  c.Pattern, Rate: c.Rate, Measure: c.Measure,
 					Seed: c.Seed, Faults: fc, WatchdogLimit: c.WatchdogLimit,
 				})
 			})

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -269,25 +270,39 @@ func (sr *SuiteResult) Fig12ExecTime() (map[string]map[noc.Design]float64, map[n
 
 // normalised divides a metric by the reference design's value per
 // benchmark and returns per-benchmark maps plus per-design averages.
+// A non-positive reference (e.g. a degenerate run that delivered zero
+// flits) marks the whole benchmark row NaN instead of silently
+// reporting 0 — a 0 reads as "this design eliminated the metric", which
+// is a very different claim from "the baseline measured nothing". NaN
+// rows are excluded from the per-design averages; a design with no
+// valid rows averages to NaN.
 func (sr *SuiteResult) normalised(metric func(Result) float64, ref noc.Design) (map[string]map[noc.Design]float64, map[noc.Design]float64) {
 	rows := map[string]map[noc.Design]float64{}
-	avg := map[noc.Design]float64{}
+	sum := map[noc.Design]float64{}
 	cnt := map[noc.Design]int{}
+	seen := map[noc.Design]bool{}
 	for _, b := range sr.Benchmarks {
 		base := metric(sr.Results[b][ref])
 		rows[b] = map[noc.Design]float64{}
 		for d, r := range sr.Results[b] {
-			v := 0.0
-			if base > 0 {
-				v = metric(r) / base
+			seen[d] = true
+			if base <= 0 {
+				rows[b][d] = math.NaN()
+				continue
 			}
+			v := metric(r) / base
 			rows[b][d] = v
-			avg[d] += v
+			sum[d] += v
 			cnt[d]++
 		}
 	}
-	for d := range avg {
-		avg[d] /= float64(cnt[d])
+	avg := map[noc.Design]float64{}
+	for d := range seen {
+		if cnt[d] == 0 {
+			avg[d] = math.NaN()
+			continue
+		}
+		avg[d] = sum[d] / float64(cnt[d])
 	}
 	return rows, avg
 }

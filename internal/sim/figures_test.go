@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"nord/internal/noc"
+)
+
+// TestNormalisedZeroReference: a benchmark whose reference design
+// measured zero (e.g. a degenerate run that delivered no flits) must
+// surface as NaN, not as a silent 0 — and must not drag the per-design
+// averages down.
+func TestNormalisedZeroReference(t *testing.T) {
+	sr := &SuiteResult{
+		Benchmarks: []string{"good", "degenerate"},
+		Results: map[string]map[noc.Design]Result{
+			"good": {
+				noc.NoPG: {Design: noc.NoPG, ExecTime: 100},
+				noc.NoRD: {Design: noc.NoRD, ExecTime: 50},
+			},
+			"degenerate": {
+				noc.NoPG: {Design: noc.NoPG, ExecTime: 0},
+				noc.NoRD: {Design: noc.NoRD, ExecTime: 50},
+			},
+		},
+	}
+	rows, avg := sr.normalised(func(r Result) float64 { return float64(r.ExecTime) }, noc.NoPG)
+
+	if got := rows["good"][noc.NoRD]; got != 0.5 {
+		t.Errorf("good row normalises to %v, want 0.5", got)
+	}
+	for _, d := range []noc.Design{noc.NoPG, noc.NoRD} {
+		if got := rows["degenerate"][d]; !math.IsNaN(got) {
+			t.Errorf("degenerate row %v = %v, want NaN marker", d, got)
+		}
+	}
+	// Averages use only the valid row.
+	if got := avg[noc.NoRD]; got != 0.5 {
+		t.Errorf("NoRD average = %v, want 0.5 (degenerate row excluded)", got)
+	}
+	if got := avg[noc.NoPG]; got != 1.0 {
+		t.Errorf("NoPG average = %v, want 1.0", got)
+	}
+
+	// All references zero: averages themselves carry the marker.
+	sr.Benchmarks = []string{"degenerate"}
+	_, avg = sr.normalised(func(r Result) float64 { return float64(r.ExecTime) }, noc.NoPG)
+	if !math.IsNaN(avg[noc.NoRD]) {
+		t.Errorf("all-degenerate average = %v, want NaN", avg[noc.NoRD])
+	}
+}

@@ -77,6 +77,11 @@ const ZeroWarmup = -1
 type SynthConfig struct {
 	Design        noc.Design
 	Width, Height int
+	// Topology selects the interconnect: "mesh" (default), "torus" (wrap
+	// links with dateline escape VCs) or "cmesh" (concentrated mesh, 4
+	// terminals per router). Width/Height always size the ROUTER grid;
+	// cmesh exposes a 2Wx2H terminal grid on top of it.
+	Topology      string
 	Pattern       string  // uniform, bitcomp, transpose, tornado
 	Rate          float64 // flits/node/cycle
 	Warmup        int     // cycles before measurement (paper: 10,000)
@@ -132,6 +137,9 @@ func (c *SynthConfig) fill() {
 	if c.Height == 0 {
 		c.Height = 4
 	}
+	if c.Topology == "" {
+		c.Topology = "mesh"
+	}
 	if c.Pattern == "" {
 		c.Pattern = "uniform"
 	}
@@ -171,31 +179,45 @@ func (c SynthConfig) Filled() SynthConfig {
 	return c
 }
 
-// perfCache memoises performance-centric router sets per mesh size.
-var perfCache sync.Map // [2]int -> []int
+// perfCache memoises performance-centric router sets per topology+size.
+var perfCache sync.Map // perfKey -> []int
 
-// PerfCentricSet returns the performance-centric routers for a WxH mesh:
-// the exhaustively optimal 6-router set for the paper's 4x4 example,
-// and a greedy 3N/8-router set for larger meshes (Section 4.4).
+type perfKey struct {
+	kind topology.Kind
+	w, h int
+}
+
+// PerfCentricSet returns the performance-centric routers for a WxH mesh
+// (see PerfCentricSetOn).
 func PerfCentricSet(w, h int) ([]int, error) {
-	key := [2]int{w, h}
+	return PerfCentricSetOn(topology.KindMesh, w, h)
+}
+
+// PerfCentricSetOn returns the performance-centric routers for a WxH
+// router grid of the given topology: the exhaustively optimal 6-router
+// set for the paper's 4x4 example, and a greedy 3N/8-router set for
+// larger grids (Section 4.4). The planner evaluates bypass-ring detour
+// cost on the actual topology, so torus wrap links shorten the detours
+// it optimises against.
+func PerfCentricSetOn(kind topology.Kind, w, h int) ([]int, error) {
+	key := perfKey{kind, w, h}
 	if v, ok := perfCache.Load(key); ok {
 		return v.([]int), nil
 	}
-	mesh, err := topology.NewMesh(w, h)
+	topo, err := topology.New(kind, w, h)
 	if err != nil {
 		return nil, err
 	}
-	ring, err := topology.NewRing(mesh)
+	ring, err := topology.NewRing(topo)
 	if err != nil {
 		return nil, err
 	}
-	pl := topology.NewPlanner(mesh, ring)
+	pl := topology.NewPlanner(topo, ring)
 	var set []int
-	if mesh.N() <= 16 {
-		set, err = pl.PerformanceCentric(6 * mesh.N() / 16)
+	if topo.N() <= 16 {
+		set, err = pl.PerformanceCentric(6 * topo.N() / 16)
 	} else {
-		set, err = pl.GreedySet(3 * mesh.N() / 8)
+		set, err = pl.GreedySet(3 * topo.N() / 8)
 	}
 	if err != nil {
 		return nil, err
@@ -209,6 +231,11 @@ func (c *SynthConfig) buildParams(classes int) (noc.Params, error) {
 	p := noc.DefaultParams(c.Design)
 	p.Width, p.Height = c.Width, c.Height
 	p.Classes = classes
+	kind, err := topology.KindByName(c.Topology)
+	if err != nil {
+		return p, err
+	}
+	p.Topology = kind
 	if c.WakeupLatency > 0 {
 		p.WakeupLatency = c.WakeupLatency
 	}
@@ -240,7 +267,7 @@ func (c *SynthConfig) buildParams(classes int) (noc.Params, error) {
 		p.EarlyWakeupCycles = 1
 	}
 	if c.Design == noc.NoRD && !c.NoPerfCentric && !c.ForcedOff {
-		set, err := PerfCentricSet(c.Width, c.Height)
+		set, err := PerfCentricSetOn(kind, c.Width, c.Height)
 		if err != nil {
 			return p, err
 		}
@@ -657,8 +684,14 @@ func RecordWorkloadTrace(c WorkloadConfig) (*trace.Trace, Result, error) {
 func collect(net *noc.Network, model *power.Model) Result {
 	col := net.Collector()
 	p := net.Params()
-	nodes := p.NumNodes()
-	counts := col.PowerCounts(nodes, net.NumLinks(), net.HasPGController(), net.HasBypass())
+	routers := p.NumNodes()
+	// Injection endpoints: equals the router count except on the
+	// concentrated mesh, where each router serves 4 terminals. Per-node
+	// rates (throughput) are per terminal; the power model and the NI
+	// wakeup metric stay per router.
+	nodes := net.Mesh().N()
+	counts := col.PowerCounts(routers, net.NumLinks(), net.HasPGController(), net.HasBypass())
+	counts.LinkLengthFactor = net.Topo().LinkLengthFactor()
 	energy := model.Energy(counts)
 	return Result{
 		Design:            p.Design,
@@ -679,7 +712,7 @@ func collect(net *noc.Network, model *power.Model) Result {
 		GateOffs:          col.GateOffs,
 		Misroutes:         col.MisroutedHops,
 		Escapes:           col.EscapedPackets,
-		VCReqWindow:       col.AvgVCRequestsPerWindow(nodes, p.WakeupWindow),
+		VCReqWindow:       col.AvgVCRequestsPerWindow(routers, p.WakeupWindow),
 		Energy:            energy,
 		AvgPowerW:         model.AvgPowerW(counts, energy),
 		Routers:           net.PerRouterReports(),

@@ -50,17 +50,20 @@ func PowerTimeSeries(c SynthConfig, period int) ([]PowerSample, error) {
 	}
 	net.BeginMeasurement()
 
-	nodes := params.NumNodes()
+	routers := params.NumNodes()
+	nodes := net.Mesh().N() // terminals: == routers except on cmesh
 	links := net.NumLinks()
+	llf := net.Topo().LinkLengthFactor()
 	var samples []PowerSample
-	prev := net.Collector().PowerCounts(nodes, links, net.HasPGController(), net.HasBypass())
+	prev := net.Collector().PowerCounts(routers, links, net.HasPGController(), net.HasBypass())
 	prevFlits := net.Collector().FlitsDelivered
 	start := net.Cycle()
 	for i := 0; i < c.Measure; i++ {
 		inj.Tick(net.Cycle())
 		net.Tick()
 		if (i+1)%period == 0 {
-			cur := net.Collector().PowerCounts(nodes, links, net.HasPGController(), net.HasBypass())
+			cur := net.Collector().PowerCounts(routers, links, net.HasPGController(), net.HasBypass())
+			cur.LinkLengthFactor = llf
 			delta := diffCounts(cur, prev)
 			e := model.Energy(delta)
 			flits := net.Collector().FlitsDelivered
@@ -96,6 +99,7 @@ func diffCounts(cur, prev power.Counts) power.Counts {
 	d.BypassHops = cur.BypassHops - prev.BypassHops
 	d.BypassInjections = cur.BypassInjections - prev.BypassInjections
 	d.BypassEjections = cur.BypassEjections - prev.BypassEjections
+	d.LocalFlits = cur.LocalFlits - prev.LocalFlits
 	return d
 }
 

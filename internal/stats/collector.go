@@ -42,6 +42,10 @@ type NoC struct {
 	BypassHops          uint64
 	BypassInjections    uint64
 	BypassEjections     uint64
+	// LocalFlits counts flits delivered over the NI-local path of a
+	// concentrated router (terminal-to-terminal traffic that never
+	// entered the network); 0 on concentration-1 topologies.
+	LocalFlits uint64
 
 	// NIVCRequests sums the per-cycle VC requests seen at every NI (the
 	// raw signal of NoRD's wakeup metric, used to regenerate Figure 7).
@@ -102,6 +106,7 @@ func (n *NoC) Merge(o *NoC) {
 	n.BypassHops += o.BypassHops
 	n.BypassInjections += o.BypassInjections
 	n.BypassEjections += o.BypassEjections
+	n.LocalFlits += o.LocalFlits
 
 	n.NIVCRequests += o.NIVCRequests
 
@@ -168,6 +173,7 @@ func (n *NoC) PowerCounts(routers, links int, hasPGController, hasBypass bool) p
 		BypassHops:       n.BypassHops,
 		BypassInjections: n.BypassInjections,
 		BypassEjections:  n.BypassEjections,
+		LocalFlits:       n.LocalFlits,
 		HasPGController:  hasPGController,
 		HasBypass:        hasBypass,
 	}

@@ -1,0 +1,59 @@
+package topology
+
+import "fmt"
+
+// CMesh is a concentrated 2D mesh: a W x H router grid with mesh
+// adjacency where each router serves a 2x2 tile of C=4 terminals through
+// a widened local port. The terminal grid is therefore 2W x 2H; terminal
+// (tx, ty) maps onto router (tx/2, ty/2). Router IDs, coordinates and
+// inter-router routing are exactly the mesh's — concentration only
+// changes the local port and the terminal address space.
+type CMesh struct {
+	Mesh
+}
+
+// CMeshConcentration is the concentration degree: terminals per router.
+const CMeshConcentration = 4
+
+// NewCMesh returns a concentrated mesh over a w x h router grid (at
+// least 2x2, i.e. at least a 4x4 terminal grid).
+func NewCMesh(w, h int) (CMesh, error) {
+	m, err := NewMesh(w, h)
+	if err != nil {
+		return CMesh{}, fmt.Errorf("topology: cmesh router grid: %w", err)
+	}
+	return CMesh{Mesh: m}, nil
+}
+
+// MustCMesh is NewCMesh that panics on invalid dimensions.
+func MustCMesh(w, h int) CMesh {
+	c, err := NewCMesh(w, h)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+var _ Topology = CMesh{}
+
+// Kind identifies the topology family.
+func (c CMesh) Kind() Kind { return KindCMesh }
+
+// LinkLengthFactor returns the link length relative to a mesh link of the
+// same terminal population: concentrating 4 terminals doubles the tile
+// pitch, so inter-router links span 2.0 mesh pitches.
+func (c CMesh) LinkLengthFactor() float64 { return 2.0 }
+
+// Concentration returns the terminals per router: four.
+func (c CMesh) Concentration() int { return CMeshConcentration }
+
+// Terminals returns the 2W x 2H terminal grid.
+func (c CMesh) Terminals() Mesh { return Mesh{W: 2 * c.W, H: 2 * c.H} }
+
+// TerminalRouter maps a terminal id (in the 2W x 2H terminal grid) onto
+// the router serving its 2x2 tile.
+func (c CMesh) TerminalRouter(t int) int {
+	tw := 2 * c.W
+	tx, ty := t%tw, t/tw
+	return c.ID(tx/2, ty/2)
+}

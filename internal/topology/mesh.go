@@ -39,7 +39,10 @@ func (d Dir) String() string {
 }
 
 // Opposite returns the facing direction (the input port a flit sent on
-// output d arrives at).
+// output d arrives at). Only the four grid directions have an opposite;
+// anything else — Local or a corrupted value — panics, so a bad port
+// table surfaces immediately instead of silently mis-delivering flits to
+// a node's local port.
 func (d Dir) Opposite() Dir {
 	switch d {
 	case East:
@@ -51,7 +54,7 @@ func (d Dir) Opposite() Dir {
 	case South:
 		return North
 	default:
-		return Local
+		panic(fmt.Sprintf("topology: direction %v has no opposite", d))
 	}
 }
 
@@ -187,3 +190,54 @@ func abs(v int) int {
 	}
 	return v
 }
+
+// ---------------------------------------------------------------------
+// Topology interface methods. Mesh is the reference implementation: no
+// wrap links, one escape VC, one terminal per router.
+
+var _ Topology = Mesh{}
+
+// Kind identifies the topology family.
+func (m Mesh) Kind() Kind { return KindMesh }
+
+// Grid returns the router-grid dimensions.
+func (m Mesh) Grid() (w, h int) { return m.W, m.H }
+
+// MinimalSet is MinimalDirs without the allocation.
+func (m Mesh) MinimalSet(src, dst int) DirSet {
+	var out DirSet
+	sx, sy := m.Coord(src)
+	dx, dy := m.Coord(dst)
+	if dx > sx {
+		out.Add(East)
+	} else if dx < sx {
+		out.Add(West)
+	}
+	if dy > sy {
+		out.Add(South)
+	} else if dy < sy {
+		out.Add(North)
+	}
+	return out
+}
+
+// WrapLink reports whether (id, d) is a wraparound link; a mesh has none.
+func (m Mesh) WrapLink(id int, d Dir) bool { return false }
+
+// EscapeVCs returns the escape VCs XY routing needs on a mesh: one.
+func (m Mesh) EscapeVCs() int { return 1 }
+
+// NumLinks returns the number of directed router-to-router links.
+func (m Mesh) NumLinks() int { return 2 * (m.W*(m.H-1) + m.H*(m.W-1)) }
+
+// LinkLengthFactor returns the link length relative to a mesh link: 1.
+func (m Mesh) LinkLengthFactor() float64 { return 1.0 }
+
+// Concentration returns the terminals per router: one.
+func (m Mesh) Concentration() int { return 1 }
+
+// Terminals returns the terminal grid: the router grid itself.
+func (m Mesh) Terminals() Mesh { return m }
+
+// TerminalRouter maps a terminal to its router: the identity.
+func (m Mesh) TerminalRouter(t int) int { return t }

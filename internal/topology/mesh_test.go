@@ -96,8 +96,25 @@ func TestDirStrings(t *testing.T) {
 			t.Errorf("Dir(%d).String() = %q, want %q", d, d.String(), want)
 		}
 	}
-	if Local.Opposite() != Local {
-		t.Error("Local.Opposite() should be Local")
+}
+
+// TestOppositePanicsOnNonGridDir pins the hardened behavior: Opposite on
+// Local (or garbage) must fail loudly, not silently alias the local port.
+func TestOppositePanicsOnNonGridDir(t *testing.T) {
+	for _, d := range []Dir{Local, Dir(9)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v.Opposite() did not panic", d)
+				}
+			}()
+			_ = d.Opposite()
+		}()
+	}
+	for _, d := range []Dir{East, West, North, South} {
+		if d.Opposite().Opposite() != d {
+			t.Errorf("%v.Opposite().Opposite() != %v", d, d)
+		}
 	}
 }
 

@@ -7,7 +7,7 @@ import (
 	"sort"
 )
 
-// Planner implements the offline program of Section 4.4: given a mesh, its
+// Planner implements the offline program of Section 4.4: given a topology, its
 // bypass ring, and a candidate set of powered-on routers, it evaluates the
 // best achievable average node-to-node distance (hops) and average per-hop
 // latency (cycles) using Floyd-Warshall all-pairs shortest paths
@@ -23,7 +23,7 @@ import (
 // powered-off router costs PipeBypassCycles (2-cycle bypass + 1 LT versus
 // the 4-stage pipeline + 1 LT, Section 6.8).
 type Planner struct {
-	Mesh Mesh
+	Topo Topology
 	Ring *Ring
 	// PipeOnCycles is the per-hop latency through a powered-on router
 	// (default 5: 4 pipeline stages + link traversal).
@@ -34,8 +34,8 @@ type Planner struct {
 }
 
 // NewPlanner returns a planner with the paper's default per-hop costs.
-func NewPlanner(m Mesh, r *Ring) *Planner {
-	return &Planner{Mesh: m, Ring: r, PipeOnCycles: 5, PipeBypassCycles: 3}
+func NewPlanner(t Topology, r *Ring) *Planner {
+	return &Planner{Topo: t, Ring: r, PipeOnCycles: 5, PipeBypassCycles: 3}
 }
 
 // Eval computes the average node-to-node distance in hops and the average
@@ -43,9 +43,9 @@ func NewPlanner(m Mesh, r *Ring) *Planner {
 // powered-on routers. It returns an error only if some pair is unreachable,
 // which cannot happen for a valid ring (the ring connects everything).
 func (p *Planner) Eval(on []bool) (avgHops, perHopCycles float64, err error) {
-	n := p.Mesh.N()
+	n := p.Topo.N()
 	if len(on) != n {
-		return 0, 0, fmt.Errorf("topology: on-set has %d entries, mesh has %d nodes", len(on), n)
+		return 0, 0, fmt.Errorf("topology: on-set has %d entries, topology has %d nodes", len(on), n)
 	}
 	const inf = math.MaxInt32
 	// cost[u][v]: cycles; hop[u][v]: hops along the min-cycle path.
@@ -78,7 +78,7 @@ func (p *Planner) Eval(on []bool) (avgHops, perHopCycles float64, err error) {
 	for u := 0; u < n; u++ {
 		if on[u] {
 			for d := East; d < Local; d++ {
-				if v, ok := p.Mesh.Neighbor(u, d); ok {
+				if v, ok := p.Topo.Neighbor(u, d); ok {
 					edge(u, v)
 				}
 			}
@@ -140,11 +140,11 @@ type TradeoffPoint struct {
 }
 
 // Tradeoff computes the Figure 6 curve for K = 0..N powered-on routers.
-// For meshes up to 16 nodes the best on-set per K is found exhaustively
-// (as the paper's offline program can); for larger meshes a greedy
+// For networks up to 16 nodes the best on-set per K is found exhaustively
+// (as the paper's offline program can); for larger networks a greedy
 // forward-selection is used. The returned points are ordered by K.
 func (p *Planner) Tradeoff() ([]TradeoffPoint, error) {
-	n := p.Mesh.N()
+	n := p.Topo.N()
 	if n <= 16 {
 		return p.tradeoffExhaustive()
 	}
@@ -152,7 +152,7 @@ func (p *Planner) Tradeoff() ([]TradeoffPoint, error) {
 }
 
 func (p *Planner) tradeoffExhaustive() ([]TradeoffPoint, error) {
-	n := p.Mesh.N()
+	n := p.Topo.N()
 	best := make([]TradeoffPoint, n+1)
 	for k := range best {
 		best[k] = TradeoffPoint{K: k, AvgHops: math.Inf(1)}
@@ -175,7 +175,7 @@ func (p *Planner) tradeoffExhaustive() ([]TradeoffPoint, error) {
 }
 
 func (p *Planner) tradeoffGreedy() ([]TradeoffPoint, error) {
-	n := p.Mesh.N()
+	n := p.Topo.N()
 	on := make([]bool, n)
 	h, c, err := p.Eval(on)
 	if err != nil {
@@ -211,10 +211,10 @@ func (p *Planner) tradeoffGreedy() ([]TradeoffPoint, error) {
 // GreedySet grows a performance-centric set of exactly k routers by
 // greedy forward-selection (adding whichever router most reduces the
 // average distance), without evaluating the full trade-off curve. For
-// meshes beyond the exhaustive planner's reach this is the practical way
+// networks beyond the exhaustive planner's reach this is the practical way
 // to pick the Section 4.4 class.
 func (p *Planner) GreedySet(k int) ([]int, error) {
-	n := p.Mesh.N()
+	n := p.Topo.N()
 	if k < 0 || k > n {
 		return nil, fmt.Errorf("topology: greedy set size %d out of range [0,%d]", k, n)
 	}
@@ -247,7 +247,7 @@ func (p *Planner) GreedySet(k int) ([]int, error) {
 // asymmetric wakeup thresholds (Section 4.4). For the paper's 4x4 example
 // K=6 is the knee of the Figure 6 curve.
 func (p *Planner) PerformanceCentric(k int) ([]int, error) {
-	n := p.Mesh.N()
+	n := p.Topo.N()
 	if k < 0 || k > n {
 		return nil, fmt.Errorf("topology: performance-centric set size %d out of range [0,%d]", k, n)
 	}

@@ -3,14 +3,15 @@ package topology
 import "fmt"
 
 // Ring is the chip-wide unidirectional bypass ring of NoRD (Section 4.2).
-// It is a Hamiltonian cycle over the mesh: each router contributes exactly
-// one Bypass Inport (the mesh input port fed by its ring predecessor) and
-// one Bypass Outport (the mesh output port feeding its ring successor).
-// Packets traversing a powered-off router enter on the Bypass Inport, pass
-// through the node's network interface, and leave on the Bypass Outport,
-// so even with every router gated off the ring keeps all nodes connected.
+// It is a Hamiltonian cycle over the topology's links: each router
+// contributes exactly one Bypass Inport (the input port fed by its ring
+// predecessor) and one Bypass Outport (the output port feeding its ring
+// successor). Packets traversing a powered-off router enter on the Bypass
+// Inport, pass through the node's network interface, and leave on the
+// Bypass Outport, so even with every router gated off the ring keeps all
+// nodes connected.
 type Ring struct {
-	mesh Mesh
+	topo Topology
 	// order is the ring as a node sequence; order[i+1] succeeds order[i]
 	// and order[0] succeeds order[len-1].
 	order []int
@@ -23,29 +24,34 @@ type Ring struct {
 	pos []int
 }
 
-// NewRing constructs the bypass ring for a mesh using a boustrophedon
-// ("comb") Hamiltonian cycle: row 0 is walked left to right, columns
-// 1..W-1 are snaked downward through the remaining rows, and column 0 is
-// the return path. This requires an even number of rows; if H is odd but W
-// is even the construction is applied to the transposed mesh. A mesh with
-// both dimensions odd has no Hamiltonian cycle (odd node count on a
-// bipartite graph), and an error is returned.
+// NewRing constructs the bypass ring for a topology. Grids with an even
+// dimension use the boustrophedon ("comb") Hamiltonian cycle: row 0 is
+// walked left to right, columns 1..W-1 are snaked downward through the
+// remaining rows, and column 0 is the return path (applied to the
+// transposed grid when only W is even) — identical on mesh, cmesh and
+// torus, so even-grid NoRD behaves the same across them. An odd x odd
+// grid has no Hamiltonian cycle over mesh links (odd node count on a
+// bipartite graph), but a torus closes one through its wrap links
+// (torusOddOrder); for mesh and cmesh it remains an error.
 //
 // For the paper's 4x4 example this yields
 // 0,1,2,3,7,6,5,9,10,11,15,14,13,12,8,4 -> 0, the serpentine of
 // Figure 4(a).
-func NewRing(m Mesh) (*Ring, error) {
+func NewRing(t Topology) (*Ring, error) {
+	w, h := t.Grid()
 	var order []int
 	switch {
-	case m.H%2 == 0:
-		order = combOrder(m.W, m.H, func(x, y int) int { return m.ID(x, y) })
-	case m.W%2 == 0:
+	case h%2 == 0:
+		order = combOrder(w, h, func(x, y int) int { return t.ID(x, y) })
+	case w%2 == 0:
 		// Transpose: walk the comb over (y, x).
-		order = combOrder(m.H, m.W, func(x, y int) int { return m.ID(y, x) })
+		order = combOrder(h, w, func(x, y int) int { return t.ID(y, x) })
+	case t.Kind() == KindTorus:
+		order = torusOddOrder(w, h, func(x, y int) int { return t.ID(x, y) })
 	default:
-		return nil, fmt.Errorf("topology: no Hamiltonian bypass ring exists for odd %dx%d mesh", m.W, m.H)
+		return nil, fmt.Errorf("topology: no Hamiltonian bypass ring exists for odd %dx%d %v", w, h, t.Kind())
 	}
-	return ringFromOrder(m, order)
+	return ringFromOrder(t, order)
 }
 
 // combOrder emits the comb Hamiltonian cycle over a w x h grid (h even)
@@ -77,21 +83,53 @@ func combOrder(w, h int, id func(x, y int) int) []int {
 	return order
 }
 
-// RingFromOrder builds a Ring from an explicit node sequence, validating
-// that it is a Hamiltonian cycle over mesh links. It allows callers to
-// experiment with alternative bypass placements (Section 4.4 notes the
-// classification/placement space is open).
-func RingFromOrder(m Mesh, order []int) (*Ring, error) {
-	return ringFromOrder(m, append([]int(nil), order...))
+// torusOddOrder emits a Hamiltonian cycle over an odd x odd torus (both
+// dimensions odd, w <= h after the caller's orientation; this function
+// transposes internally when w > h). Each row is traversed fully in one
+// direction — an Eastward row uses the row's wrap link and shifts the
+// entry column of the next row by -1, a Westward row by +1 — and rows are
+// chained by South links, the last one wrapping back to row 0. Closure
+// needs the total shift to vanish mod w: with e Eastward and (h-e)
+// Westward rows that is 2e ≡ h (mod w), solved by e = (h+w)/2 (both odd,
+// so integral; w <= h keeps 0 <= e <= h).
+func torusOddOrder(w, h int, id func(x, y int) int) []int {
+	if w > h {
+		return torusOddOrder(h, w, func(x, y int) int { return id(y, x) })
+	}
+	east := (h + w) / 2
+	order := make([]int, 0, w*h)
+	col := 0
+	for y := 0; y < h; y++ {
+		if y < east {
+			for i := 0; i < w; i++ {
+				order = append(order, id((col+i)%w, y))
+			}
+			col = (col - 1 + w) % w
+		} else {
+			for i := 0; i < w; i++ {
+				order = append(order, id((col-i+w)%w, y))
+			}
+			col = (col + 1) % w
+		}
+	}
+	return order
 }
 
-func ringFromOrder(m Mesh, order []int) (*Ring, error) {
-	n := m.N()
+// RingFromOrder builds a Ring from an explicit node sequence, validating
+// that it is a Hamiltonian cycle over topology links. It allows callers to
+// experiment with alternative bypass placements (Section 4.4 notes the
+// classification/placement space is open).
+func RingFromOrder(t Topology, order []int) (*Ring, error) {
+	return ringFromOrder(t, append([]int(nil), order...))
+}
+
+func ringFromOrder(t Topology, order []int) (*Ring, error) {
+	n := t.N()
 	if len(order) != n {
-		return nil, fmt.Errorf("topology: ring order has %d nodes, mesh has %d", len(order), n)
+		return nil, fmt.Errorf("topology: ring order has %d nodes, topology has %d", len(order), n)
 	}
 	r := &Ring{
-		mesh:   m,
+		topo:   t,
 		order:  order,
 		succ:   make([]int, n),
 		pred:   make([]int, n),
@@ -101,7 +139,7 @@ func ringFromOrder(m Mesh, order []int) (*Ring, error) {
 	}
 	seen := make([]bool, n)
 	for i, v := range order {
-		if !m.Valid(v) {
+		if !t.Valid(v) {
 			return nil, fmt.Errorf("topology: ring order contains invalid node %d", v)
 		}
 		if seen[v] {
@@ -112,9 +150,9 @@ func ringFromOrder(m Mesh, order []int) (*Ring, error) {
 	}
 	for i, v := range order {
 		next := order[(i+1)%n]
-		d, err := m.DirTo(v, next)
+		d, err := t.DirTo(v, next)
 		if err != nil {
-			return nil, fmt.Errorf("topology: ring step %d->%d is not a mesh link: %w", v, next, err)
+			return nil, fmt.Errorf("topology: ring step %d->%d is not a link: %w", v, next, err)
 		}
 		r.succ[v] = next
 		r.pred[next] = v
@@ -124,8 +162,8 @@ func ringFromOrder(m Mesh, order []int) (*Ring, error) {
 	return r, nil
 }
 
-// Mesh returns the underlying mesh.
-func (r *Ring) Mesh() Mesh { return r.mesh }
+// Topo returns the underlying topology.
+func (r *Ring) Topo() Topology { return r.topo }
 
 // Order returns the ring as a node sequence (do not modify).
 func (r *Ring) Order() []int { return r.order }
@@ -138,10 +176,10 @@ func (r *Ring) Succ(v int) int { return r.succ[v] }
 // Inport).
 func (r *Ring) Pred(v int) int { return r.pred[v] }
 
-// OutDir returns the mesh direction of v's Bypass Outport.
+// OutDir returns the direction of v's Bypass Outport.
 func (r *Ring) OutDir(v int) Dir { return r.outDir[v] }
 
-// InDir returns the mesh direction of v's Bypass Inport.
+// InDir returns the direction of v's Bypass Inport.
 func (r *Ring) InDir(v int) Dir { return r.inDir[v] }
 
 // Pos returns v's index along the ring; node at position 0 starts the

@@ -2,6 +2,8 @@
 # End-to-end smoke test for nordserved: boot the service on an ephemeral
 # port, submit a small 4x4 synthetic job, poll it to completion, resubmit
 # the identical request and assert a cache hit, sanity-check /metrics,
+# run the same job on a 4x4 torus (asserting a distinct cache key, a hit
+# on resubmission, and a 400 for an unknown topology),
 # run a seeded design-space search twice through nordsearch (asserting a
 # byte-identical Pareto front and >= 90% child-cache hits on the rerun),
 # then drain the server with SIGTERM. A second phase boots a coordinator
@@ -129,6 +131,36 @@ JOB_P4='{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"p
 PHIT=$(curl -fsS "$BASE/v1/jobs" -d "$JOB_P4")
 echo "   $PHIT"
 echo "$PHIT" | grep -q '"cached":true' || fail "parallelism leaked into the cache key: $PHIT"
+
+echo "== submitting a 4x4 torus job (distinct cache key, then a hit)"
+TORUS_JOB='{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"topology":"torus","pattern":"uniform","rate":0.05,"warmup":1000,"measure":20000,"seed":7}}'
+TOSUB=$(curl -fsS "$BASE/v1/jobs" -d "$TORUS_JOB")
+echo "   $TOSUB"
+TOID=$(echo "$TOSUB" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+TOKEY=$(echo "$TOSUB" | sed -n 's/.*"key":"\([^"]*\)".*/\1/p')
+[ -n "$TOID" ] || fail "no torus job id in $TOSUB"
+# Same design/size/seed as the mesh job: only the topology differs, so
+# the key must differ — a shared key would silently serve mesh results.
+[ "$TOKEY" != "$KEY" ] || fail "torus job reused the mesh cache key $KEY"
+echo "$TOSUB" | grep -q '"cached":false' || fail "first torus submission claimed a cache hit"
+TOSTATE=""
+for _ in $(seq 1 100); do
+    TOSTATUS=$(curl -fsS "$BASE/v1/jobs/$TOID")
+    TOSTATE=$(echo "$TOSTATUS" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+    case "$TOSTATE" in
+        done) break ;;
+        failed|canceled) fail "torus job ended in state $TOSTATE: $TOSTATUS" ;;
+    esac
+    sleep 0.2
+done
+[ "$TOSTATE" = done ] || fail "torus job stuck in state '$TOSTATE'"
+TORESUB=$(curl -fsS "$BASE/v1/jobs" -d "$TORUS_JOB")
+echo "   $TORESUB"
+echo "$TORESUB" | grep -q '"cached":true' || fail "torus resubmission missed the cache: $TORESUB"
+# "hypercube" must be rejected loudly, not silently mapped to a mesh.
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "$BASE/v1/jobs" \
+    -d '{"kind":"synthetic","synthetic":{"design":"nord","topology":"hypercube"}}')
+[ "$CODE" = 400 ] || fail "unknown topology returned $CODE, want 400"
 
 echo "== submitting a traced job and streaming /trace"
 TRACED_JOB='{"kind":"synthetic","synthetic":{"design":"nord","width":4,"height":4,"pattern":"uniform","rate":0.05,"warmup":1000,"measure":20000,"seed":7,"trace_events":true}}'
